@@ -1,0 +1,98 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	plat := BulldozerPlatform()
+	sm, err := Generate(Options{
+		Platform:      plat,
+		LoopCycles:    36,
+		Threads:       4,
+		GA:            GAConfig{PopSize: 8, Elites: 2, TournamentK: 3, MutationProb: 0.6, MaxGenerations: 3, Seed: 3},
+		MeasureCycles: 2500,
+		WarmupCycles:  1500,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasureDroop(plat, sm.Program, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxDroopV <= 0 {
+		t.Fatal("no droop measured through the facade")
+	}
+	// Round-trip through the object format.
+	blob, err := EncodeProgram(sm.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != sm.Program.Len() {
+		t.Error("program changed across encode/decode")
+	}
+	// And through text.
+	if _, err := ParseProgram(sm.Program.Text()); err != nil {
+		t.Errorf("text round trip: %v", err)
+	}
+}
+
+func TestFacadeWorkloadsAndMarks(t *testing.T) {
+	if len(Benchmarks()) < 15 {
+		t.Errorf("benchmark suite too small: %d", len(Benchmarks()))
+	}
+	for _, p := range []*Program{SM1(36), SM2(36), SMRes(36)} {
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFacadeDitherPlans(t *testing.T) {
+	plan, err := ExactDither([]int{0, 1, 2, 3}, 24, 960)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SweepCycles != 960*24*24*24 {
+		t.Errorf("exact sweep = %g", plan.SweepCycles)
+	}
+	if _, err := ApproxDither([]int{0, 1}, 24, 960, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeCostFunctions(t *testing.T) {
+	m := &Measurement{MaxDroopV: 0.05, AvgPowerW: 25, Cycles: 10}
+	if MaxDroop(m) != 0.05 {
+		t.Error("MaxDroop")
+	}
+	if DroopPerWatt(m) != 0.002 {
+		t.Error("DroopPerWatt")
+	}
+	pw := PathWeighted(map[isa.Unit]float64{isa.UnitFPU: 0.1})
+	if pw(m) != 0.05 {
+		t.Error("PathWeighted with no FPU activity should equal droop")
+	}
+}
+
+func TestFacadeFailureSearch(t *testing.T) {
+	plat := BulldozerPlatform()
+	v, ok, err := FindFailureVoltage(plat, SMRes(36), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("SM-Res never failed")
+	}
+	if v >= plat.Nominal() || v < plat.Nominal()-0.3 {
+		t.Errorf("failure voltage %v out of range", v)
+	}
+}

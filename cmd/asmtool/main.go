@@ -1,0 +1,101 @@
+// Command asmtool is the binutils of the stressmark toolchain: it
+// assembles NASM-flavoured text into the binary object format,
+// disassembles object images back to text, prints addressed listings,
+// and lints programs (validation + instruction-mix profile).
+//
+// Usage:
+//
+//	asmtool -c  prog.asm -o prog.obj    assemble
+//	asmtool -d  prog.obj                disassemble to stdout
+//	asmtool -l  prog.asm|prog.obj       addressed listing
+//	asmtool -profile prog.asm|prog.obj  instruction mix + FP fraction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		compile = flag.Bool("c", false, "assemble text to an object image")
+		disasm  = flag.Bool("d", false, "disassemble an object image to text")
+		listing = flag.Bool("l", false, "print an addressed listing")
+		profile = flag.Bool("profile", false, "print the instruction-mix profile")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "asmtool: need exactly one input file")
+		os.Exit(2)
+	}
+	if err := run(*compile, *disasm, *listing, *profile, *out, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "asmtool:", err)
+		os.Exit(1)
+	}
+}
+
+// load reads either a text program or a binary object, sniffing the
+// object magic.
+func load(path string) (*asm.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 && string(data[:4]) == "ADT1" {
+		return asm.Decode(data)
+	}
+	return asm.Parse(string(data))
+}
+
+func emit(out string, data []byte) error {
+	if out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func run(compile, disasm, listing, profile bool, out, path string) error {
+	p, err := load(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case compile:
+		blob, err := asm.Encode(p)
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			return fmt.Errorf("-c needs -o (refusing to write binary to a terminal)")
+		}
+		return emit(out, blob)
+	case disasm:
+		return emit(out, []byte(p.Text()))
+	case listing:
+		return emit(out, []byte(p.Listing()))
+	case profile:
+		mix := p.InstructionMix()
+		classes := make([]isa.Class, 0, len(mix))
+		for c := range mix {
+			classes = append(classes, c)
+		}
+		sort.Slice(classes, func(i, j int) bool { return mix[classes[i]] > mix[classes[j]] })
+		fmt.Printf("%s: %d instructions, FP fraction %.1f%%\n", p.Name, p.Len(), 100*p.FPFraction())
+		for _, c := range classes {
+			fmt.Printf("  %-8v %5d\n", c, mix[c])
+		}
+		return nil
+	default:
+		// Default action: validate and summarise.
+		fmt.Printf("%s: OK (%d instructions, %d labels, %d byte data segment)\n",
+			p.Name, p.Len(), len(p.Labels), p.MemBytes)
+		return nil
+	}
+}

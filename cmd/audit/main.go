@@ -1,0 +1,209 @@
+// Command audit generates a di/dt stressmark for a simulated platform
+// and reports the search trajectory, the generated assembly, and its
+// measured droop. This is the end-to-end AUDIT flow of Fig. 5 on the
+// "hardware" (simulated testbed) path.
+//
+// Usage:
+//
+//	audit [flags]
+//
+//	-platform  bulldozer | phenom            (default bulldozer)
+//	-threads   homogeneous thread count      (default 4)
+//	-mode      resonance | excitation        (default resonance)
+//	-loop      loop length in cycles; 0 = auto resonance sweep
+//	-subblock  hierarchical sub-block size K (default 6)
+//	-throttle  FP issue cap during generation (0 = off)
+//	-pop       GA population                 (default 14)
+//	-gens      GA max generations            (default 14)
+//	-seed      RNG seed                      (default 1)
+//	-o         write the stressmark assembly to this file
+//	-obj       write the binary object image to this file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/audit"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "bulldozer", "bulldozer or phenom")
+		threads  = flag.Int("threads", 4, "homogeneous thread count")
+		mode     = flag.String("mode", "resonance", "resonance or excitation")
+		loop     = flag.Int("loop", 0, "loop length in cycles (0 = auto sweep)")
+		subblock = flag.Int("subblock", 6, "hierarchical sub-block cycles")
+		throttle = flag.Int("throttle", 0, "FP throttle limit during generation")
+		pop      = flag.Int("pop", 14, "GA population size")
+		gens     = flag.Int("gens", 14, "GA max generations")
+		seed     = flag.Int64("seed", 1, "random seed")
+		outAsm   = flag.String("o", "", "write NASM-style assembly here")
+		outObj   = flag.String("obj", "", "write binary object image here")
+		saveTo   = flag.String("save", "", "write a resumable checkpoint (winner + population) here")
+		resume   = flag.String("resume", "", "resume the search from a checkpoint written by -save")
+		hetero   = flag.Bool("hetero", false, "give each thread its own genome (resonance mode only)")
+	)
+	flag.Parse()
+	if err := run(*platform, *threads, *mode, *loop, *subblock, *throttle, *pop, *gens, *seed, *outAsm, *outObj, *saveTo, *resume, *hetero); err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platform string, threads int, mode string, loop, subblock, throttle, pop, gens int, seed int64, outAsm, outObj, saveTo, resume string, hetero bool) error {
+	var plat audit.Platform
+	switch platform {
+	case "bulldozer":
+		plat = audit.BulldozerPlatform()
+	case "phenom":
+		plat = audit.PhenomPlatform()
+	default:
+		return fmt.Errorf("unknown platform %q", platform)
+	}
+	var m audit.Mode
+	switch mode {
+	case "resonance":
+		m = audit.Resonance
+	case "excitation":
+		m = audit.Excitation
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	var seedGenomes []audit.Genome
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			return err
+		}
+		prev, pop, err := audit.LoadStressmark(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		seedGenomes = pop
+		if loop == 0 {
+			loop = prev.LoopCycles
+		}
+		fmt.Printf("resuming from %s: %d genomes, previous best %.1f mV\n",
+			resume, len(pop), prev.DroopV*1e3)
+	}
+
+	opts := audit.Options{
+		SeedGenomes:    seedGenomes,
+		Platform:       plat,
+		Threads:        threads,
+		Mode:           m,
+		LoopCycles:     loop,
+		SubBlockCycles: subblock,
+		FPThrottle:     throttle,
+		GA: audit.GAConfig{
+			PopSize: pop, Elites: 2, TournamentK: 3,
+			MutationProb: 0.6, MaxGenerations: gens, StagnantLimit: 6,
+			Seed: seed,
+		},
+		Seed: seed,
+		Name: fmt.Sprintf("A-%s-%dT", mode, threads),
+	}
+
+	if hetero {
+		if loop == 0 {
+			return fmt.Errorf("-hetero needs an explicit -loop (run cmd/resonance first)")
+		}
+		fmt.Printf("generating heterogeneous %s stressmark for %s (%dT)...\n",
+			mode, plat.Chip.Name, threads)
+		hsm, err := audit.GenerateHetero(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("best droop: %s; per-thread programs:\n", report.MilliVolts(hsm.DroopV))
+		for i, prog := range hsm.Programs {
+			fmt.Printf("  thread %d: %d instructions, FP fraction %.0f%%\n",
+				i, prog.Len(), 100*prog.FPFraction())
+		}
+		if outAsm != "" {
+			for i, prog := range hsm.Programs {
+				name := fmt.Sprintf("%s.t%d", outAsm, i)
+				if err := os.WriteFile(name, []byte(prog.Text()), 0o644); err != nil {
+					return err
+				}
+			}
+			fmt.Printf("per-thread assembly written to %s.t*\n", outAsm)
+		}
+		return nil
+	}
+
+	fmt.Printf("generating %s stressmark for %s (%dT, throttle=%d)...\n",
+		mode, plat.Chip.Name, threads, throttle)
+	sm, err := audit.Generate(opts)
+	if err != nil {
+		return err
+	}
+
+	if len(sm.SweepPoints) > 0 {
+		tbl := &report.Table{Title: "resonance sweep", Headers: []string{"loop (cyc)", "freq (MHz)", "droop (mV)"}}
+		for _, p := range sm.SweepPoints {
+			tbl.AddRow(fmt.Sprint(p.LoopCycles), report.F(p.FreqHz/1e6, 1), report.F(p.DroopV*1e3, 1))
+		}
+		fmt.Println(tbl)
+	}
+	fmt.Printf("loop length: %d cycles (%.1f MHz)\n", sm.LoopCycles,
+		plat.Chip.ClockHz/float64(sm.LoopCycles)/1e6)
+	fmt.Printf("GA: %d evaluations over %d generations\n", sm.Search.Evaluations, sm.Search.Generations)
+	fmt.Println(report.BarChart("best droop by generation (mV)",
+		genLabels(len(sm.Search.History)), scale(sm.Search.History, 1e3), 40))
+	fmt.Printf("best droop: %s (%.1f%% of nominal)\n",
+		report.MilliVolts(sm.DroopV), 100*sm.DroopV/plat.Nominal())
+
+	if outAsm != "" {
+		if err := os.WriteFile(outAsm, []byte(sm.Program.Text()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("assembly written to", outAsm)
+	}
+	if outObj != "" {
+		blob, err := audit.EncodeProgram(sm.Program)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outObj, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("object image written to", outObj)
+	}
+	if saveTo != "" {
+		f, err := os.Create(saveTo)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sm.Save(f); err != nil {
+			return err
+		}
+		fmt.Println("checkpoint written to", saveTo)
+	}
+	if outAsm == "" {
+		fmt.Println("\n--- generated stressmark ---")
+		fmt.Print(sm.Program.Text())
+	}
+	return nil
+}
+
+func genLabels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("gen %02d", i+1)
+	}
+	return out
+}
+
+func scale(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}

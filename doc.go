@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "AUDIT: Stress
+// Testing the Automatic Way" (Kim, John, Pant, Manne, Schulte, Bircher,
+// Sibi Govindan — MICRO 2012): an automated di/dt stressmark generation
+// framework for multi-core processors, together with every substrate
+// the paper's evaluation depends on — a cycle-level out-of-order
+// multi-core CPU model with per-cycle current draw, a lumped-RLC
+// power-delivery-network transient solver, a virtual oscilloscope and
+// failure model, OS-interference modelling, the comparison workloads,
+// and a benchmark harness that regenerates every table and figure.
+//
+// Use package repro/audit for the public API; see README.md, DESIGN.md
+// and EXPERIMENTS.md, and run `go test -bench=. .` for the full
+// evaluation.
+package repro

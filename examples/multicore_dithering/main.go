@@ -1,0 +1,118 @@
+// Multicore dithering: why worst-case droop needs guaranteed thread
+// alignment, and how the §3.B dithering algorithm provides it.
+//
+//	go run ./examples/multicore_dithering
+//
+// Three measurements of the same 4-thread resonant stressmark:
+//
+//  1. threads started in phase            → worst-case droop
+//  2. threads started half a period apart → droops partially cancel
+//  3. misaligned threads + dithering      → padding sweeps the
+//     alignment space and recovers the worst case deterministically
+//
+// plus the §3.B cost table: the exact algorithm explodes past four
+// cores; the approximate algorithm (δ-granular alignment) makes eight
+// cores tractable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/audit"
+	"repro/internal/report"
+	"repro/internal/testbed"
+	"repro/internal/workloads"
+)
+
+func main() {
+	plat := audit.BulldozerPlatform()
+	const period = 36 // the platform's resonance period in cycles
+	prog := workloads.SMRes(period)
+
+	measure := func(adjust func(*audit.RunConfig)) float64 {
+		specs, err := testbed.SpreadPlacement(plat.Chip, prog, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc := audit.RunConfig{Threads: specs, MaxCycles: 30000, WarmupCycles: 3000}
+		if adjust != nil {
+			adjust(&rc)
+		}
+		m, err := plat.Run(rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m.MaxDroopV
+	}
+
+	aligned := measure(nil)
+	misaligned := measure(func(rc *audit.RunConfig) {
+		for i := range rc.Threads {
+			if i%2 == 1 {
+				rc.Threads[i].StartSkew = period / 2
+			}
+		}
+	})
+
+	// Dither the skewed threads: one cycle of padding every M cycles
+	// walks core 1 (and 3) through every relative alignment.
+	const mCycles = 8 * period
+	dithered := measure(func(rc *audit.RunConfig) {
+		for i := range rc.Threads {
+			if i%2 == 1 {
+				rc.Threads[i].StartSkew = period / 2
+			}
+		}
+		rc.MaxCycles = uint64(mCycles*period) + 30000
+		rc.Dither = []audit.DitherSpec{
+			{Core: rc.Threads[1].GlobalCore(plat.Chip), PeriodCycles: mCycles, PadCycles: 1},
+			{Core: rc.Threads[3].GlobalCore(plat.Chip), PeriodCycles: mCycles, PadCycles: 1},
+		}
+	})
+
+	fmt.Println(report.BarChart("4T SM-Res droop by alignment (mV)",
+		[]string{"in phase", "anti-phase", "anti-phase + dithering"},
+		[]float64{aligned * 1e3, misaligned * 1e3, dithered * 1e3}, 40))
+	fmt.Printf("dithering recovered %.0f%% of the worst-case droop from an arbitrary skew\n\n",
+		100*dithered/aligned)
+
+	// The cost side (§3.B), at the paper's operating point:
+	// 4 GHz, L+H = 24, M = 960 cycles of sustained resonance.
+	tbl := &report.Table{
+		Title:   "alignment sweep cost (4 GHz, L+H=24, M=960)",
+		Headers: []string{"cores", "algorithm", "sweep time"},
+	}
+	for _, row := range []struct {
+		cores, delta int
+	}{{2, 0}, {4, 0}, {8, 0}, {8, 3}} {
+		var plan audit.DitherPlan
+		var err error
+		var name string
+		if row.delta == 0 {
+			plan, err = audit.ExactDither(make([]int, row.cores), 24, 960)
+			name = "exact"
+		} else {
+			plan, err = audit.ApproxDither(make([]int, row.cores), 24, 960, row.delta)
+			name = fmt.Sprintf("approximate δ=%d", row.delta)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(fmt.Sprint(row.cores), name, fmtDuration(plan.SweepSeconds(4e9)))
+	}
+	fmt.Println(tbl)
+	fmt.Println("the paper's numbers: 4-core exact 3.3 ms; 8-core exact 18.35 min;")
+	fmt.Println("8-core approximate with δ=3: 67 ms — reproduced above.")
+}
+
+func fmtDuration(s float64) string {
+	switch {
+	case s < 1:
+		return fmt.Sprintf("%.1f ms", s*1e3)
+	case s < 120:
+		return fmt.Sprintf("%.2f s", s)
+	default:
+		return fmt.Sprintf("%.2f min", s/60)
+	}
+}

@@ -1,0 +1,106 @@
+// Porting to a different processor: the §5.C / Table 3 scenario. The
+// board keeps its PDN, but the processor is swapped for an older
+// 45 nm Phenom-II-style part: no FMA, no SMT, different caches, a
+// different resonance, and less aggressive power gating. AUDIT adapts
+// automatically — re-detect the resonance, regenerate, done — while
+// the legacy SM1 stressmark won't even run (incompatible instructions).
+//
+//	go run ./examples/port_phenom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/audit"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	old := audit.BulldozerPlatform()
+	ph := audit.PhenomPlatform()
+	fmt.Printf("old platform: %s  (first droop ≈ %.0f MHz)\n", old.Chip.Name, old.PDN.FirstDroopNominal()/1e6)
+	fmt.Printf("new platform: %s  (first droop ≈ %.0f MHz, no FMA, no SMT)\n\n",
+		ph.Chip.Name, ph.PDN.FirstDroopNominal()/1e6)
+
+	// Step 1: the legacy stressmark does not even run.
+	sm1 := workloads.SM1(36)
+	if _, err := audit.MeasureDroop(ph, sm1, 4); err != nil {
+		fmt.Printf("SM1 on %s: %v\n", ph.Chip.Name, err)
+		fmt.Println("(§5.C: \"We were unable to run SM1 on the older processor due to incompatible instructions.\")")
+	} else {
+		log.Fatal("SM1 unexpectedly ran on the FMA-less chip")
+	}
+
+	// Step 2: AUDIT re-detects the resonance of the new system.
+	fmt.Println("\nre-detecting the resonance on the new system...")
+	sweep := audit.ResonanceSweep{Platform: ph}
+	_, best, err := sweep.Run(14, 48, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst-case loop: %d cycles (%.1f MHz — the die stage changed with the processor)\n\n",
+		best.LoopCycles, best.FreqHz/1e6)
+
+	// Step 3: regenerate. The opcode list automatically drops FMA for
+	// this chip.
+	sm, err := audit.Generate(audit.Options{
+		Platform:   ph,
+		Threads:    4,
+		LoopCycles: best.LoopCycles,
+		GA: audit.GAConfig{
+			PopSize: 12, Elites: 2, TournamentK: 3,
+			MutationProb: 0.6, MaxGenerations: 8, StagnantLimit: 5, Seed: 23,
+		},
+		Seed: 23,
+		Name: "A-Res-phenom",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: Table 3 — compare against what still runs.
+	zeusmp := mustBenchmark("zeusmp")
+	sm2 := workloads.SM2(best.LoopCycles)
+	rows := []struct {
+		name string
+		prog *audit.Program
+	}{
+		{"zeusmp", zeusmp},
+		{"SM2", sm2},
+		{"A-Res (regenerated)", sm.Program},
+	}
+	var droops []float64
+	var labels []string
+	var sm2Droop float64
+	for _, r := range rows {
+		m, err := audit.MeasureDroop(ph, r.prog, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		droops = append(droops, m.MaxDroopV*1e3)
+		labels = append(labels, r.name)
+		if r.name == "SM2" {
+			sm2Droop = m.MaxDroopV
+		}
+	}
+	fmt.Println(report.BarChart("4T droop on the Phenom-style system (mV)", labels, droops, 40))
+	tbl := &report.Table{Title: "relative to SM2 (Table 3)", Headers: []string{"program", "rel. droop"}}
+	for i, r := range rows {
+		tbl.AddRow(r.name, report.F(droops[i]/1e3/sm2Droop, 2))
+	}
+	tbl.AddRow("SM1", "incompatible")
+	fmt.Println(tbl)
+	fmt.Println("paper's Table 3: zeusmp 0.82, SM2 1.00, A-Res 1.10 — same ordering.")
+}
+
+func mustBenchmark(name string) *audit.Program {
+	for _, w := range audit.Benchmarks() {
+		if w.Name == name {
+			return w.Program
+		}
+	}
+	log.Fatalf("no benchmark %q", name)
+	return nil
+}

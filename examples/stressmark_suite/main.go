@@ -1,0 +1,90 @@
+// Stressmark suite: §5.A.6's closing recommendation, automated. One
+// stressmark is never enough — "a stressmark that works well for one
+// configuration (such as A-Res for 4T runs) may not produce the best
+// results for other configurations" — so AUDIT is cheap enough to run
+// once per usage scenario and keep the whole suite.
+//
+//	go run ./examples/stressmark_suite
+//
+// The example generates the default scenario matrix (1T/4T/8T resonant,
+// 4T excitation, 4T throttled), cross-measures every mark against every
+// thread count, and prints the resulting coverage matrix: each column's
+// winner is the mark trained for that configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/audit"
+	"repro/internal/report"
+)
+
+func main() {
+	plat := audit.BulldozerPlatform()
+	scenarios := audit.DefaultSuite(plat)
+	fmt.Printf("generating %d stressmarks for %s:\n", len(scenarios), plat.Chip.Name)
+	for _, sc := range scenarios {
+		fmt.Printf("  %-18s %dT %-10v throttle=%d\n", sc.Name, sc.Threads, sc.Mode, sc.FPThrottle)
+	}
+	fmt.Println()
+
+	marks, err := audit.GenerateSuite(plat, scenarios, audit.Options{
+		LoopCycles: 36,
+		GA: audit.GAConfig{
+			PopSize: 10, Elites: 2, TournamentK: 3,
+			MutationProb: 0.6, MaxGenerations: 8, StagnantLimit: 4,
+		},
+		Seed: 77,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-measure: every mark at every thread count (unthrottled), to
+	// show that each configuration's winner is the mark trained for it.
+	counts := []int{1, 4, 8}
+	tbl := &report.Table{
+		Title:   "droop (mV) of each suite mark across configurations",
+		Headers: []string{"mark (trained for)", "1T", "4T", "8T"},
+	}
+	best := map[int]string{}
+	bestV := map[int]float64{}
+	for _, sm := range marks {
+		row := []string{fmt.Sprintf("%s (%dT)", sm.Name, sm.Threads)}
+		for _, n := range counts {
+			m, err := audit.MeasureDroop(plat, sm.Program, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, report.F(m.MaxDroopV*1e3, 1))
+			if m.MaxDroopV > bestV[n] {
+				bestV[n], best[n] = m.MaxDroopV, sm.Name
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Println(tbl)
+	for _, n := range counts {
+		fmt.Printf("%dT worst case: %s (%.1f mV)\n", n, best[n], bestV[n]*1e3)
+	}
+
+	// Persist the suite: checkpoints are resumable and the programs are
+	// plain assembly.
+	dir, err := os.MkdirTemp("", "audit-suite-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sm := range marks {
+		f, err := os.Create(fmt.Sprintf("%s/%s.json", dir, sm.Name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sm.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	fmt.Printf("\nsuite checkpoints written to %s\n", dir)
+}

@@ -1,0 +1,176 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder constructs programs programmatically. It is the API AUDIT's
+// code generator and the hand-built workloads use; the text assembler
+// funnels into the same methods so both paths share validation.
+type Builder struct {
+	p    *Program
+	errs []error
+	// forward references: label -> list of instruction indices whose
+	// Target awaits resolution.
+	fixups map[string][]int
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{p: New(name), fixups: map[string][]int{}}
+}
+
+// errf records a construction error; Build reports the first one.
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("asm: %s: "+format, append([]any{b.p.Name}, args...)...))
+}
+
+// SetMem sets the thread-private data-segment size in bytes.
+func (b *Builder) SetMem(bytes int) *Builder {
+	if bytes < 0 {
+		b.errf("negative memory size %d", bytes)
+		return b
+	}
+	b.p.MemBytes = bytes
+	return b
+}
+
+// Init seeds a register's initial value.
+func (b *Builder) Init(r isa.Reg, v isa.Value) *Builder {
+	if !r.Valid() {
+		b.errf("init of invalid register")
+		return b
+	}
+	b.p.InitRegs[r] = v
+	return b
+}
+
+// InitToggle seeds a bank of XMM and GPR registers with the maximum-
+// toggling alternating pattern AUDIT uses (§3).
+func (b *Builder) InitToggle(xmmCount, gprCount int) *Builder {
+	a, c := isa.MaxToggleValues()
+	for i := 0; i < xmmCount && i < isa.NumXMM; i++ {
+		if i%2 == 0 {
+			b.Init(isa.XMM(i), a)
+		} else {
+			b.Init(isa.XMM(i), c)
+		}
+	}
+	for i := 0; i < gprCount && i < isa.NumGPR; i++ {
+		if i%2 == 0 {
+			b.Init(isa.GPR(i), isa.Value{Lo: a.Lo})
+		} else {
+			b.Init(isa.GPR(i), isa.Value{Lo: c.Lo})
+		}
+	}
+	return b
+}
+
+// Label places a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.p.Labels[name]; dup {
+		b.errf("duplicate label %q", name)
+		return b
+	}
+	b.p.Labels[name] = len(b.p.Code)
+	return b
+}
+
+// emit appends an instruction after validating it.
+func (b *Builder) emit(in isa.Instruction) *Builder {
+	if in.Op != nil && in.Op.Shape == isa.ShapeBranch {
+		// Branch targets resolve at Build time via fixups.
+		b.fixups[in.Label] = append(b.fixups[in.Label], len(b.p.Code))
+		b.p.Code = append(b.p.Code, in)
+		return b
+	}
+	if err := in.Valid(); err != nil {
+		b.errf("%v", err)
+		return b
+	}
+	b.p.Code = append(b.p.Code, in)
+	return b
+}
+
+// Nop appends n NOPs.
+func (b *Builder) Nop(n int) *Builder {
+	nop := isa.MustLookup("nop")
+	for i := 0; i < n; i++ {
+		b.emit(isa.Instruction{Op: nop})
+	}
+	return b
+}
+
+// RR appends a two-operand register instruction.
+func (b *Builder) RR(op string, dst, src isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MustLookup(op), Dst: dst, Src1: src})
+}
+
+// RRR appends a three-operand register instruction.
+func (b *Builder) RRR(op string, dst, src1, src2 isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MustLookup(op), Dst: dst, Src1: src1, Src2: src2})
+}
+
+// RI appends a register-immediate instruction.
+func (b *Builder) RI(op string, dst isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MustLookup(op), Dst: dst, Imm: imm})
+}
+
+// Load appends dst ← [base+disp].
+func (b *Builder) Load(op string, dst, base isa.Reg, disp int32) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MustLookup(op), Dst: dst, MemBase: base, MemDisp: disp})
+}
+
+// Store appends [base+disp] ← src.
+func (b *Builder) Store(op string, base isa.Reg, disp int32, src isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MustLookup(op), Src1: src, MemBase: base, MemDisp: disp})
+}
+
+// Branch appends a branch to the named label (may be a forward
+// reference).
+func (b *Builder) Branch(op, label string) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MustLookup(op), Label: label})
+}
+
+// Barrier appends a synchronisation barrier with the given id.
+func (b *Builder) Barrier(id int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MustLookup("barrier"), Imm: id})
+}
+
+// Raw appends an already-formed instruction (used by the GA code
+// generator, which manipulates instructions directly).
+func (b *Builder) Raw(in isa.Instruction) *Builder { return b.emit(in) }
+
+// Build resolves branch targets, validates, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for label, sites := range b.fixups {
+		idx, ok := b.p.Labels[label]
+		if !ok {
+			return nil, fmt.Errorf("asm: %s: undefined label %q", b.p.Name, label)
+		}
+		if idx >= len(b.p.Code) {
+			return nil, fmt.Errorf("asm: %s: label %q points past end of code", b.p.Name, label)
+		}
+		for _, s := range sites {
+			b.p.Code[s].Target = idx
+		}
+	}
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build for static program construction; panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,309 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse assembles NASM-flavoured text into a Program. Supported syntax:
+//
+//	; comment                      -- to end of line
+//	.name foo                      -- program name
+//	.mem 4096                      -- data segment size
+//	.init xmm0, 0xAA.., 0x55..     -- initial register value (lo, hi)
+//	label:                         -- label definition
+//	times 8 nop                    -- repetition prefix
+//	mnemonic operands              -- one instruction
+//
+// Operands follow the shapes in package isa: "add rax, rcx",
+// "vfmadd132pd xmm0, xmm1, xmm2", "load rax, [rbp+16]",
+// "store [rbp-8], rax", "jnz loop", "barrier 2", "movimm rax, 7".
+func Parse(src string) (*Program, error) {
+	b := NewBuilder("anonymous")
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return b.Build()
+}
+
+// MustParse is Parse for static sources; panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseLine(b *Builder, line string) error {
+	// Directives.
+	if strings.HasPrefix(line, ".") {
+		return parseDirective(b, line)
+	}
+	// Label.
+	if strings.HasSuffix(line, ":") {
+		name := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+		if name == "" || strings.ContainsAny(name, " \t,") {
+			return fmt.Errorf("bad label %q", line)
+		}
+		b.Label(name)
+		return nil
+	}
+	// times N <insn>
+	fields := strings.Fields(line)
+	if fields[0] == "times" {
+		if len(fields) < 3 {
+			return fmt.Errorf("times needs a count and an instruction")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad times count %q", fields[1])
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+		for i := 0; i < n; i++ {
+			if err := parseInstruction(b, rest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return parseInstruction(b, line)
+}
+
+func parseDirective(b *Builder, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".name":
+		if len(fields) != 2 {
+			return fmt.Errorf(".name needs one argument")
+		}
+		b.p.Name = fields[1]
+		return nil
+	case ".mem":
+		if len(fields) != 2 {
+			return fmt.Errorf(".mem needs one argument")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad .mem size %q", fields[1])
+		}
+		b.SetMem(n)
+		return nil
+	case ".init":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ".init"))
+		parts := splitOperands(rest)
+		if len(parts) != 3 && len(parts) != 2 {
+			return fmt.Errorf(".init needs reg, lo[, hi]")
+		}
+		r, err := isa.ParseReg(parts[0])
+		if err != nil {
+			return err
+		}
+		lo, err := parseUint(parts[1])
+		if err != nil {
+			return err
+		}
+		var hi uint64
+		if len(parts) == 3 {
+			if hi, err = parseUint(parts[2]); err != nil {
+				return err
+			}
+		}
+		b.Init(r, isa.Value{Lo: lo, Hi: hi})
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", fields[0])
+}
+
+func parseUint(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+// splitOperands splits on commas outside brackets and trims each part.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" || len(out) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}
+
+// parseMem parses "[base+disp]" or "[base-disp]" or "[base]".
+func parseMem(s string) (base isa.Reg, disp int32, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return isa.NoReg, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sign := int32(1)
+	idx := strings.IndexAny(inner, "+-")
+	regPart, dispPart := inner, ""
+	if idx >= 0 {
+		if inner[idx] == '-' {
+			sign = -1
+		}
+		regPart, dispPart = inner[:idx], inner[idx+1:]
+	}
+	base, err = isa.ParseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return isa.NoReg, 0, err
+	}
+	if dispPart != "" {
+		d, err := strconv.ParseInt(strings.TrimSpace(dispPart), 0, 32)
+		if err != nil {
+			return isa.NoReg, 0, fmt.Errorf("bad displacement %q", dispPart)
+		}
+		disp = sign * int32(d)
+	}
+	return base, disp, nil
+}
+
+func parseInstruction(b *Builder, line string) error {
+	sp := strings.IndexAny(line, " \t")
+	mnemonic, rest := line, ""
+	if sp >= 0 {
+		mnemonic, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	op, err := isa.Lookup(mnemonic)
+	if err != nil {
+		return err
+	}
+	ops := splitOperands(rest)
+	wrongCount := func(want int) error {
+		return fmt.Errorf("%s: got %d operands, want %d", mnemonic, len(ops), want)
+	}
+	switch op.Shape {
+	case isa.ShapeNone:
+		if len(ops) != 0 {
+			return wrongCount(0)
+		}
+		b.Raw(isa.Instruction{Op: op})
+	case isa.ShapeRR:
+		if len(ops) != 2 {
+			return wrongCount(2)
+		}
+		dst, err := isa.ParseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := isa.ParseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Raw(isa.Instruction{Op: op, Dst: dst, Src1: src})
+	case isa.ShapeRRR:
+		if len(ops) != 3 {
+			return wrongCount(3)
+		}
+		dst, err := isa.ParseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		s1, err := isa.ParseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		s2, err := isa.ParseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		b.Raw(isa.Instruction{Op: op, Dst: dst, Src1: s1, Src2: s2})
+	case isa.ShapeRI:
+		if len(ops) != 2 {
+			return wrongCount(2)
+		}
+		dst, err := isa.ParseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := strconv.ParseInt(ops[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q", ops[1])
+		}
+		b.Raw(isa.Instruction{Op: op, Dst: dst, Imm: imm})
+	case isa.ShapeLoad:
+		if len(ops) != 2 {
+			return wrongCount(2)
+		}
+		dst, err := isa.ParseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, disp, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Raw(isa.Instruction{Op: op, Dst: dst, MemBase: base, MemDisp: disp})
+	case isa.ShapeStore:
+		if len(ops) != 2 {
+			return wrongCount(2)
+		}
+		base, disp, err := parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := isa.ParseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Raw(isa.Instruction{Op: op, Src1: src, MemBase: base, MemDisp: disp})
+	case isa.ShapeBranch:
+		if len(ops) != 1 {
+			return wrongCount(1)
+		}
+		b.Branch(op.Name, ops[0])
+	case isa.ShapeBarrier:
+		if len(ops) != 1 {
+			return wrongCount(1)
+		}
+		id, err := strconv.ParseInt(ops[0], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad barrier id %q", ops[0])
+		}
+		b.Barrier(id)
+	default:
+		return fmt.Errorf("%s: unhandled shape", mnemonic)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package asm is the NASM-flavoured toolchain AUDIT emits stressmarks
+// through: a program representation, a text assembler/disassembler and
+// a compact binary encoding. The paper generates assembly in NASM
+// format and assembles it with NASM 2.09; here the same textual form is
+// parsed into the simulator's internal representation.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Program is an assembled instruction sequence plus the execution
+// environment a thread needs: initial register values (AUDIT uses these
+// to control data toggling) and a private data-memory size.
+type Program struct {
+	// Name identifies the program in reports.
+	Name string
+	// Code is the instruction sequence. Branch targets are resolved
+	// instruction indices.
+	Code []isa.Instruction
+	// Labels maps label name to instruction index (the instruction the
+	// label precedes).
+	Labels map[string]int
+	// InitRegs seeds architectural registers before the first
+	// instruction. Unlisted registers start at zero.
+	InitRegs map[isa.Reg]isa.Value
+	// MemBytes is the size of the thread-private data segment
+	// addressed by loads/stores. Zero means a default small segment.
+	MemBytes int
+}
+
+// New returns an empty program with the given name.
+func New(name string) *Program {
+	return &Program{
+		Name:     name,
+		Labels:   map[string]int{},
+		InitRegs: map[isa.Reg]isa.Value{},
+	}
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Code) }
+
+// Validate checks every instruction and branch target.
+func (p *Program) Validate() error {
+	for i := range p.Code {
+		in := &p.Code[i]
+		if err := in.Valid(); err != nil {
+			return fmt.Errorf("asm: %s: instruction %d: %w", p.Name, i, err)
+		}
+		if in.Op.Shape == isa.ShapeBranch {
+			if in.Target < 0 || in.Target >= len(p.Code) {
+				return fmt.Errorf("asm: %s: instruction %d: branch target %d out of range", p.Name, i, in.Target)
+			}
+		}
+	}
+	for name, idx := range p.Labels {
+		if idx < 0 || idx > len(p.Code) {
+			return fmt.Errorf("asm: %s: label %q index %d out of range", p.Name, name, idx)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, used when per-core variants (e.g. dither
+// padding) are derived from a base stressmark.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:     p.Name,
+		Code:     append([]isa.Instruction(nil), p.Code...),
+		Labels:   make(map[string]int, len(p.Labels)),
+		InitRegs: make(map[isa.Reg]isa.Value, len(p.InitRegs)),
+		MemBytes: p.MemBytes,
+	}
+	for k, v := range p.Labels {
+		q.Labels[k] = v
+	}
+	for k, v := range p.InitRegs {
+		q.InitRegs[k] = v
+	}
+	return q
+}
+
+// Text renders the program as assemblable NASM-flavoured text, the
+// inverse of Parse.
+func (p *Program) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s\n", p.Name)
+	fmt.Fprintf(&b, ".name %s\n", p.Name)
+	if p.MemBytes > 0 {
+		fmt.Fprintf(&b, ".mem %d\n", p.MemBytes)
+	}
+	regs := make([]isa.Reg, 0, len(p.InitRegs))
+	for r := range p.InitRegs {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].FlatIndex() < regs[j].FlatIndex() })
+	for _, r := range regs {
+		v := p.InitRegs[r]
+		fmt.Fprintf(&b, ".init %s, 0x%016x, 0x%016x\n", r, v.Lo, v.Hi)
+	}
+	// Labels by position.
+	labelAt := map[int][]string{}
+	for name, idx := range p.Labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+	for idx := range labelAt {
+		sort.Strings(labelAt[idx])
+	}
+	for i := range p.Code {
+		for _, l := range labelAt[i] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "    %s\n", p.Code[i].String())
+	}
+	for _, l := range labelAt[len(p.Code)] {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
+	return b.String()
+}
+
+// InstructionMix tallies instructions by class, a cheap profile used in
+// reports and in AUDIT's loop analysis (§5.A.5).
+func (p *Program) InstructionMix() map[isa.Class]int {
+	mix := map[isa.Class]int{}
+	for i := range p.Code {
+		mix[p.Code[i].Op.Class]++
+	}
+	return mix
+}
+
+// FPFraction returns the fraction of instructions bound to the FPU,
+// relevant to shared-FPU interference and FPU throttling analysis.
+func (p *Program) FPFraction() float64 {
+	if len(p.Code) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range p.Code {
+		if p.Code[i].Op.Class.IsFP() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Code))
+}
+
+// Listing renders an addressed disassembly: one line per instruction
+// with its index, labels inline, and branch targets resolved — the view
+// an engineer reads when auditing what AUDIT generated.
+func (p *Program) Listing() string {
+	labelAt := map[int][]string{}
+	for name, idx := range p.Labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+	for idx := range labelAt {
+		sort.Strings(labelAt[idx])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d instructions, %d bytes data segment\n", p.Name, len(p.Code), p.MemBytes)
+	for i := range p.Code {
+		for _, l := range labelAt[i] {
+			fmt.Fprintf(&b, "%6s %s:\n", "", l)
+		}
+		in := &p.Code[i]
+		if in.Op.Shape == isa.ShapeBranch {
+			fmt.Fprintf(&b, "%6d    %-32s ; → %d\n", i, in.String(), in.Target)
+		} else {
+			fmt.Fprintf(&b, "%6d    %s\n", i, in.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package circuit
+
+import "fmt"
+
+// ACImpedance computes the small-signal driving-point impedance seen at
+// a node across a set of frequencies: ideal voltage sources are
+// shorted, a unit AC current is injected into the port, and the
+// resulting port voltage equals the complex impedance. This is the
+// frequency-domain view of Fig. 3: the PDN's impedance peaks mark the
+// first-, second- and third-droop resonances.
+func ACImpedance(c *Circuit, port Node, freqs []float64) ([]complex128, error) {
+	if port == Ground {
+		return nil, fmt.Errorf("circuit: AC port cannot be ground")
+	}
+	c.checkNode(port)
+	nv := c.nodes - 1
+	branches := 0
+	branchOf := make([]int, len(c.elements))
+	for i := range c.elements {
+		e := &c.elements[i]
+		if e.kind == kindV || e.kind == kindL {
+			branchOf[i] = nv + branches
+			branches++
+		}
+	}
+	n := nv + branches
+	out := make([]complex128, len(freqs))
+	for fi, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("circuit: AC frequency must be positive, got %g", f)
+		}
+		omega := 2 * 3.141592653589793 * f
+		a := make([]complex128, n*n)
+		b := make([]complex128, n)
+		stampY := func(na, nb Node, y complex128) {
+			ia, ib := int(na)-1, int(nb)-1
+			if ia >= 0 {
+				a[ia*n+ia] += y
+			}
+			if ib >= 0 {
+				a[ib*n+ib] += y
+			}
+			if ia >= 0 && ib >= 0 {
+				a[ia*n+ib] -= y
+				a[ib*n+ia] -= y
+			}
+		}
+		for i := range c.elements {
+			e := &c.elements[i]
+			switch e.kind {
+			case kindR:
+				stampY(e.a, e.b, complex(1/e.val, 0))
+			case kindC:
+				stampY(e.a, e.b, complex(0, omega*e.val))
+			case kindL:
+				ia, ib, br := int(e.a)-1, int(e.b)-1, branchOf[i]
+				if ia >= 0 {
+					a[ia*n+br] += 1
+					a[br*n+ia] += 1
+				}
+				if ib >= 0 {
+					a[ib*n+br] -= 1
+					a[br*n+ib] -= 1
+				}
+				a[br*n+br] -= complex(0, omega*e.val)
+			case kindV:
+				// Shorted for small-signal analysis: v_a - v_b = 0.
+				ia, ib, br := int(e.a)-1, int(e.b)-1, branchOf[i]
+				if ia >= 0 {
+					a[ia*n+br] += 1
+					a[br*n+ia] += 1
+				}
+				if ib >= 0 {
+					a[ib*n+br] -= 1
+					a[br*n+ib] -= 1
+				}
+			case kindI:
+				// Open for small-signal analysis.
+			}
+		}
+		// Inject 1 A into the port.
+		b[int(port)-1] = 1
+		x, err := solveComplex(a, b, n)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: AC solve at %g Hz: %w", f, err)
+		}
+		out[fi] = x[int(port)-1]
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package circuit
+
+import "fmt"
+
+// Node identifies a circuit node. Ground is the predeclared node 0.
+type Node int
+
+// Ground is the reference node; its voltage is 0 by definition.
+const Ground Node = 0
+
+// elemKind enumerates element types.
+type elemKind uint8
+
+const (
+	kindR elemKind = iota
+	kindC
+	kindL
+	kindV
+	kindI
+)
+
+// element is one two-terminal circuit element between nodes a and b.
+// For sources, current flows from a through the source to b (so a
+// positive ISource value *draws* current out of node a — the convention
+// used for the CPU's current sink).
+type element struct {
+	kind elemKind
+	a, b Node
+	val  float64 // R in ohms, C in farads, L in henries, V in volts, I in amps (initial)
+	name string
+	// branch is the extra MNA unknown index for V sources and
+	// inductors, assigned at compile time.
+	branch int
+}
+
+// Circuit is a netlist under construction. Add elements, then Compile a
+// transient or AC view.
+type Circuit struct {
+	nodes    int // node count including ground
+	elements []element
+}
+
+// New returns an empty circuit with only the ground node.
+func New() *Circuit {
+	return &Circuit{nodes: 1}
+}
+
+// NewNode allocates a fresh node.
+func (c *Circuit) NewNode() Node {
+	n := Node(c.nodes)
+	c.nodes++
+	return n
+}
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return c.nodes }
+
+func (c *Circuit) checkNode(n Node) {
+	if n < 0 || int(n) >= c.nodes {
+		panic(fmt.Sprintf("circuit: node %d out of range (have %d)", n, c.nodes))
+	}
+}
+
+func (c *Circuit) add(kind elemKind, a, b Node, val float64, name string) {
+	c.checkNode(a)
+	c.checkNode(b)
+	if a == b {
+		panic(fmt.Sprintf("circuit: element %s shorts node %d to itself", name, a))
+	}
+	c.elements = append(c.elements, element{kind: kind, a: a, b: b, val: val, name: name})
+}
+
+// R adds a resistor of r ohms between a and b.
+func (c *Circuit) R(name string, a, b Node, r float64) {
+	if r <= 0 {
+		panic("circuit: resistance must be positive: " + name)
+	}
+	c.add(kindR, a, b, r, name)
+}
+
+// C adds a capacitor of f farads between a and b.
+func (c *Circuit) C(name string, a, b Node, f float64) {
+	if f <= 0 {
+		panic("circuit: capacitance must be positive: " + name)
+	}
+	c.add(kindC, a, b, f, name)
+}
+
+// L adds an inductor of h henries between a and b.
+func (c *Circuit) L(name string, a, b Node, h float64) {
+	if h <= 0 {
+		panic("circuit: inductance must be positive: " + name)
+	}
+	c.add(kindL, a, b, h, name)
+}
+
+// V adds an ideal DC voltage source: v(a) - v(b) = volts. The value can
+// be changed per-step during transient simulation via SetSource.
+func (c *Circuit) V(name string, a, b Node, volts float64) {
+	c.add(kindV, a, b, volts, name)
+}
+
+// I adds a current source drawing amps out of node a and returning into
+// node b. The value can be changed per-step via SetSource.
+func (c *Circuit) I(name string, a, b Node, amps float64) {
+	c.add(kindI, a, b, amps, name)
+}
+
+// findSource returns the element index of the named source.
+func (c *Circuit) findSource(name string) (int, error) {
+	for i := range c.elements {
+		e := &c.elements[i]
+		if e.name == name && (e.kind == kindV || e.kind == kindI) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: no source named %q", name)
+}

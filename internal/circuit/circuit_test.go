@@ -1,0 +1,305 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLURealSolvesRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance guarantees non-singularity.
+		for i := 0; i < n; i++ {
+			a[i*n+i] += float64(n) * 3
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a[i*n+j] * want[j]
+			}
+		}
+		lu, err := factorReal(a, n)
+		if err != nil {
+			t.Fatalf("factor: %v", err)
+		}
+		got := make([]float64, n)
+		lu.solve(b, got)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4} // rank 1
+	if _, err := factorReal(a, 2); err == nil {
+		t.Error("singular matrix factored")
+	}
+}
+
+func TestSolveComplexAgainstKnown(t *testing.T) {
+	// (1+i)x = 2 → x = 1-i
+	x, err := solveComplex([]complex128{1 + 1i}, []complex128{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-(1-1i)) > 1e-12 {
+		t.Errorf("x = %v", x[0])
+	}
+}
+
+// buildDivider: V(1V) -- R1 -- mid -- R2 -- gnd.
+func buildDivider(r1, r2 float64) (*Circuit, Node) {
+	c := New()
+	top := c.NewNode()
+	mid := c.NewNode()
+	c.V("vs", top, Ground, 1.0)
+	c.R("r1", top, mid, r1)
+	c.R("r2", mid, Ground, r2)
+	return c, mid
+}
+
+func TestDCResistorDivider(t *testing.T) {
+	c, mid := buildDivider(1000, 3000)
+	tr, err := NewTransient(c, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.75
+	if got := tr.V(mid); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DC divider: %v, want %v", got, want)
+	}
+	// Stays at DC under stepping.
+	for i := 0; i < 100; i++ {
+		tr.Step()
+	}
+	if got := tr.V(mid); math.Abs(got-want) > 1e-9 {
+		t.Errorf("divider drifted to %v", got)
+	}
+}
+
+func TestRCStepResponse(t *testing.T) {
+	// V -- R -- node -- C -- gnd. Start at 0 V source, step to 1 V.
+	c := New()
+	top := c.NewNode()
+	out := c.NewNode()
+	c.V("vs", top, Ground, 0)
+	c.R("r", top, out, 1000)
+	c.C("c", out, Ground, 1e-6) // tau = 1 ms
+	h := 1e-6
+	tr, err := NewTransient(c, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.MustSetSource("vs", 1)
+	var got float64
+	steps := int(1e-3 / h) // one time constant
+	for i := 0; i < steps; i++ {
+		tr.Step()
+	}
+	got = tr.V(out)
+	want := 1 - math.Exp(-1)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("RC at t=tau: %v, want %v", got, want)
+	}
+}
+
+func TestRLCRingingFrequency(t *testing.T) {
+	// Series RLC driven by a current step at the cap node; ringing
+	// frequency should be close to 1/(2π√(LC)).
+	c := New()
+	nL := c.NewNode()
+	nOut := c.NewNode()
+	c.V("vs", nL, Ground, 1.0)
+	c.L("l", nL, nOut, 25e-12)
+	c.R("r", nOut, Ground, 1e6) // weak load to keep DC defined
+	c.C("c", nOut, Ground, 100e-9)
+	c.I("sink", nOut, Ground, 0)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(25e-12*100e-9)) // ≈ 100.66 MHz
+	h := 1.0 / (64 * f0)
+	tr, err := NewTransient(c, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply a current step and record zero crossings about the final value.
+	tr.MustSetSource("sink", 5)
+	n := 4096
+	var wave []float64
+	for i := 0; i < n; i++ {
+		tr.Step()
+		wave = append(wave, tr.V(nOut))
+	}
+	mean := 0.0
+	for _, v := range wave[n/2:] {
+		mean += v
+	}
+	mean /= float64(n / 2)
+	crossings := 0
+	for i := 1; i < n; i++ {
+		if (wave[i-1]-mean)*(wave[i]-mean) < 0 {
+			crossings++
+		}
+	}
+	measured := float64(crossings) / 2 / (float64(n) * h)
+	if math.Abs(measured-f0)/f0 > 0.1 {
+		t.Errorf("ringing frequency %v, want ≈ %v", measured, f0)
+	}
+}
+
+func TestACImpedancePeaksAtResonance(t *testing.T) {
+	// Parallel LC from the port: L to a shorted source, C to ground.
+	c := New()
+	nV := c.NewNode()
+	port := c.NewNode()
+	c.V("vs", nV, Ground, 1)
+	c.L("l", nV, port, 25e-12)
+	c.R("rl", nV, port, 1e9) // parallel path keeps matrix well-formed
+	c.R("resr", port, Ground, 1e9)
+	c.C("c", port, Ground, 100e-9)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(25e-12*100e-9))
+	var freqs []float64
+	for f := f0 / 4; f <= f0*4; f *= 1.02 {
+		freqs = append(freqs, f)
+	}
+	z, err := ACImpedance(c, port, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestAbs := 0, 0.0
+	for i := range z {
+		if a := cmplx.Abs(z[i]); a > bestAbs {
+			best, bestAbs = i, a
+		}
+	}
+	if math.Abs(freqs[best]-f0)/f0 > 0.05 {
+		t.Errorf("impedance peak at %v Hz, want ≈ %v", freqs[best], f0)
+	}
+}
+
+func TestACImpedanceErrors(t *testing.T) {
+	c, mid := buildDivider(100, 100)
+	if _, err := ACImpedance(c, Ground, []float64{1e6}); err == nil {
+		t.Error("ground port accepted")
+	}
+	if _, err := ACImpedance(c, mid, []float64{0}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := ACImpedance(c, mid, []float64{1e6}); err != nil {
+		t.Errorf("valid sweep failed: %v", err)
+	}
+}
+
+func TestTransientLinearity(t *testing.T) {
+	// Property: doubling the current-source stimulus doubles the
+	// deviation from the DC point (the circuit is linear).
+	run := func(amps float64) []float64 {
+		c2 := New()
+		nV2 := c2.NewNode()
+		port2 := c2.NewNode()
+		c2.V("vs", nV2, Ground, 1)
+		c2.L("l", nV2, port2, 1e-9)
+		c2.R("r", nV2, port2, 0.01)
+		c2.C("c", port2, Ground, 1e-6)
+		c2.I("sink", port2, Ground, 0)
+		tr2, err := NewTransient(c2, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2.MustSetSource("sink", amps)
+		var out []float64
+		for i := 0; i < 200; i++ {
+			tr2.Step()
+			out = append(out, 1-tr2.V(port2))
+		}
+		return out
+	}
+	a := run(1)
+	b := run(2)
+	for i := range a {
+		if math.Abs(b[i]-2*a[i]) > 1e-9*(1+math.Abs(b[i])) {
+			t.Fatalf("nonlinearity at step %d: %v vs 2×%v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestSetSourceUnknown(t *testing.T) {
+	c, _ := buildDivider(100, 100)
+	tr, err := NewTransient(c, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetSource("nope", 1); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestSourceRefFastPath(t *testing.T) {
+	c := New()
+	n1 := c.NewNode()
+	c.V("vs", n1, Ground, 1)
+	c.R("r", n1, Ground, 1)
+	tr, err := NewTransient(c, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tr.SourceRef("vs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetSourceRef(ref, 2)
+	tr.Step()
+	if got := tr.V(n1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("V after ref update = %v", got)
+	}
+	cur, err := tr.BranchCurrent("vs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cur-(-2)) > 1e-9 && math.Abs(cur-2) > 1e-9 {
+		t.Errorf("branch current = %v, want magnitude 2", cur)
+	}
+}
+
+func TestQuickTransientStability(t *testing.T) {
+	// Property: with zero stimulus, an RLC network stays at its DC
+	// point for any (sane) step size — trapezoidal integration must not
+	// blow up.
+	f := func(hExp uint8) bool {
+		h := math.Pow(10, -6-float64(hExp%6)) // 1e-6..1e-11
+		c := New()
+		nV := c.NewNode()
+		port := c.NewNode()
+		c.V("vs", nV, Ground, 1.2)
+		c.L("l", nV, port, 25e-12)
+		c.R("r", nV, port, 0.001)
+		c.C("c", port, Ground, 100e-9)
+		tr, err := NewTransient(c, h)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			tr.Step()
+			if math.Abs(tr.V(port)-1.2) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package circuit is a small linear-circuit simulator: modified nodal
+// analysis over R/L/C elements with voltage and current sources,
+// trapezoidal transient integration, and complex-valued AC analysis.
+// It plays the role HSPICE plays in the paper's simulation path
+// (Fig. 5): the per-cycle current profile from the CPU model becomes a
+// current sink across a lumped RLC model of the power-delivery network,
+// and the solver produces the supply-voltage waveform.
+package circuit
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when the system matrix cannot be factored,
+// which for well-formed circuits indicates a floating node or a loop of
+// ideal sources.
+var ErrSingular = errors.New("circuit: singular matrix")
+
+// luReal is a dense LU factorisation with partial pivoting for the
+// real-valued transient system. The matrix is factored once per time
+// step size and reused for every step, which is what makes million-step
+// transients cheap.
+type luReal struct {
+	n    int
+	lu   []float64 // n×n, row-major, L (unit diagonal) and U packed
+	perm []int
+}
+
+func factorReal(a []float64, n int) (*luReal, error) {
+	lu := append([]float64(nil), a...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, maxAbs := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > maxAbs {
+				p, maxAbs = i, v
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return &luReal{n: n, lu: lu, perm: perm}, nil
+}
+
+// solve solves LUx = Pb into x (may alias a scratch buffer).
+func (f *luReal) solve(b, x []float64) {
+	n := f.n
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+}
+
+// solveComplex solves a dense complex system Ax=b in place with partial
+// pivoting (Gaussian elimination). AC sweeps factor a fresh matrix per
+// frequency point, so no reusable factorisation is kept.
+func solveComplex(a []complex128, b []complex128, n int) ([]complex128, error) {
+	m := append([]complex128(nil), a...)
+	x := append([]complex128(nil), b...)
+	for k := 0; k < n; k++ {
+		p, maxAbs := k, cmplx.Abs(m[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(m[i*n+k]); v > maxAbs {
+				p, maxAbs = i, v
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := k; j < n; j++ {
+				m[k*n+j], m[p*n+j] = m[p*n+j], m[k*n+j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			f := m[i*n+k] / m[k*n+k]
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				m[i*n+j] -= f * m[k*n+j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m[i*n+j] * x[j]
+		}
+		x[i] = s / m[i*n+i]
+	}
+	return x, nil
+}

@@ -1,0 +1,303 @@
+package circuit
+
+import "fmt"
+
+// Transient is a compiled fixed-step trapezoidal transient simulation
+// of a circuit. The system matrix is factored once at construction;
+// each Step solves one right-hand side, so long runs cost O(n²) per
+// step on the (tiny) MNA system.
+type Transient struct {
+	c *Circuit
+	h float64 // step size, seconds
+
+	n       int // total unknowns: (nodes-1) + branches
+	nv      int // voltage unknowns (nodes-1)
+	lu      *luReal
+	rhs     []float64
+	x       []float64
+	sources []float64 // live source values, indexed by element
+
+	// Companion state.
+	capV []float64 // previous branch voltage per capacitor element index
+	capI []float64 // previous branch current per capacitor
+	indI []float64 // previous current per inductor (indexed by branch slot)
+
+	capIdx []int // element indices of capacitors
+	time   float64
+}
+
+// NewTransient compiles the circuit for step size h seconds and
+// initialises state at the DC operating point of the initial source
+// values (capacitors open, inductors shorted).
+func NewTransient(c *Circuit, h float64) (*Transient, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("circuit: step size must be positive, got %g", h)
+	}
+	t := &Transient{c: c, h: h, nv: c.nodes - 1}
+	// Assign branch unknowns: one per V source and inductor.
+	branches := 0
+	for i := range c.elements {
+		e := &c.elements[i]
+		if e.kind == kindV || e.kind == kindL {
+			e.branch = t.nv + branches
+			branches++
+		}
+	}
+	t.n = t.nv + branches
+	t.rhs = make([]float64, t.n)
+	t.x = make([]float64, t.n)
+	t.sources = make([]float64, len(c.elements))
+	t.capV = make([]float64, len(c.elements))
+	t.capI = make([]float64, len(c.elements))
+	t.indI = make([]float64, len(c.elements))
+	for i := range c.elements {
+		t.sources[i] = c.elements[i].val
+		if c.elements[i].kind == kindC {
+			t.capIdx = append(t.capIdx, i)
+		}
+	}
+
+	if err := t.initDC(); err != nil {
+		return nil, err
+	}
+
+	// Build and factor the trapezoidal system matrix.
+	a := make([]float64, t.n*t.n)
+	stampG := func(na, nb Node, g float64) {
+		ia, ib := int(na)-1, int(nb)-1
+		if ia >= 0 {
+			a[ia*t.n+ia] += g
+		}
+		if ib >= 0 {
+			a[ib*t.n+ib] += g
+		}
+		if ia >= 0 && ib >= 0 {
+			a[ia*t.n+ib] -= g
+			a[ib*t.n+ia] -= g
+		}
+	}
+	for i := range c.elements {
+		e := &c.elements[i]
+		switch e.kind {
+		case kindR:
+			stampG(e.a, e.b, 1/e.val)
+		case kindC:
+			stampG(e.a, e.b, 2*e.val/h)
+		case kindL:
+			ia, ib, br := int(e.a)-1, int(e.b)-1, e.branch
+			if ia >= 0 {
+				a[ia*t.n+br] += 1
+				a[br*t.n+ia] += 1
+			}
+			if ib >= 0 {
+				a[ib*t.n+br] -= 1
+				a[br*t.n+ib] -= 1
+			}
+			a[br*t.n+br] -= 2 * e.val / h
+		case kindV:
+			ia, ib, br := int(e.a)-1, int(e.b)-1, e.branch
+			if ia >= 0 {
+				a[ia*t.n+br] += 1
+				a[br*t.n+ia] += 1
+			}
+			if ib >= 0 {
+				a[ib*t.n+br] -= 1
+				a[br*t.n+ib] -= 1
+			}
+		case kindI:
+			// RHS only.
+		}
+	}
+	lu, err := factorReal(a, t.n)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: transient matrix: %w", err)
+	}
+	t.lu = lu
+	return t, nil
+}
+
+// initDC solves the DC operating point: capacitors removed, inductors
+// replaced by 0 V sources (shorts) whose branch currents we keep.
+func (t *Transient) initDC() error {
+	c := t.c
+	n := t.n
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	stampG := func(na, nb Node, g float64) {
+		ia, ib := int(na)-1, int(nb)-1
+		if ia >= 0 {
+			a[ia*n+ia] += g
+		}
+		if ib >= 0 {
+			a[ib*n+ib] += g
+		}
+		if ia >= 0 && ib >= 0 {
+			a[ia*n+ib] -= g
+			a[ib*n+ia] -= g
+		}
+	}
+	for i := range c.elements {
+		e := &c.elements[i]
+		switch e.kind {
+		case kindR:
+			stampG(e.a, e.b, 1/e.val)
+		case kindC:
+			// Open at DC. To keep the matrix non-singular when a node
+			// connects only to capacitors, add a negligible leakage.
+			stampG(e.a, e.b, 1e-12)
+		case kindL, kindV:
+			ia, ib, br := int(e.a)-1, int(e.b)-1, e.branch
+			if ia >= 0 {
+				a[ia*n+br] += 1
+				a[br*n+ia] += 1
+			}
+			if ib >= 0 {
+				a[ib*n+br] -= 1
+				a[br*n+ib] -= 1
+			}
+			if e.kind == kindV {
+				b[br] = t.sources[i]
+			} // inductor: 0 V short
+		case kindI:
+			ia, ib := int(e.a)-1, int(e.b)-1
+			if ia >= 0 {
+				b[ia] -= t.sources[i]
+			}
+			if ib >= 0 {
+				b[ib] += t.sources[i]
+			}
+		}
+	}
+	lu, err := factorReal(a, n)
+	if err != nil {
+		return fmt.Errorf("circuit: DC matrix: %w", err)
+	}
+	lu.solve(b, t.x)
+	// Capture companion state from the DC solution.
+	nodeV := func(nd Node) float64 {
+		if nd == Ground {
+			return 0
+		}
+		return t.x[int(nd)-1]
+	}
+	for _, i := range t.capIdx {
+		e := &t.c.elements[i]
+		t.capV[i] = nodeV(e.a) - nodeV(e.b)
+		t.capI[i] = 0
+	}
+	for i := range c.elements {
+		e := &c.elements[i]
+		if e.kind == kindL {
+			t.indI[i] = t.x[e.branch]
+		}
+	}
+	return nil
+}
+
+// SetSource updates a named V or I source's value for subsequent steps.
+func (t *Transient) SetSource(name string, value float64) error {
+	i, err := t.c.findSource(name)
+	if err != nil {
+		return err
+	}
+	t.sources[i] = value
+	return nil
+}
+
+// MustSetSource panics on unknown source names; use for hot loops where
+// the name was validated up front.
+func (t *Transient) MustSetSource(name string, value float64) {
+	if err := t.SetSource(name, value); err != nil {
+		panic(err)
+	}
+}
+
+// SourceRef resolves a source name to an opaque index for per-step
+// updates without map lookups.
+func (t *Transient) SourceRef(name string) (int, error) { return t.c.findSource(name) }
+
+// SetSourceRef updates a source by reference from SourceRef.
+func (t *Transient) SetSourceRef(ref int, value float64) { t.sources[ref] = value }
+
+// Time returns the current simulation time in seconds.
+func (t *Transient) Time() float64 { return t.time }
+
+// Step advances the simulation by one time step.
+func (t *Transient) Step() {
+	b := t.rhs
+	for i := range b {
+		b[i] = 0
+	}
+	c := t.c
+	for i := range c.elements {
+		e := &c.elements[i]
+		switch e.kind {
+		case kindC:
+			g := 2 * e.val / t.h
+			ieq := g*t.capV[i] + t.capI[i]
+			ia, ib := int(e.a)-1, int(e.b)-1
+			if ia >= 0 {
+				b[ia] += ieq
+			}
+			if ib >= 0 {
+				b[ib] -= ieq
+			}
+		case kindL:
+			b[e.branch] = -(2*e.val/t.h)*t.indI[i] - t.branchVoltagePrev(e)
+		case kindV:
+			b[e.branch] = t.sources[i]
+		case kindI:
+			ia, ib := int(e.a)-1, int(e.b)-1
+			if ia >= 0 {
+				b[ia] -= t.sources[i]
+			}
+			if ib >= 0 {
+				b[ib] += t.sources[i]
+			}
+		}
+	}
+	t.lu.solve(b, t.x)
+	t.time += t.h
+	// Update companion state.
+	for _, i := range t.capIdx {
+		e := &t.c.elements[i]
+		vNew := t.nodeV(e.a) - t.nodeV(e.b)
+		g := 2 * e.val / t.h
+		iNew := g*(vNew-t.capV[i]) - t.capI[i]
+		t.capV[i], t.capI[i] = vNew, iNew
+	}
+	for i := range c.elements {
+		e := &c.elements[i]
+		if e.kind == kindL {
+			t.indI[i] = t.x[e.branch]
+		}
+	}
+}
+
+func (t *Transient) nodeV(nd Node) float64 {
+	if nd == Ground {
+		return 0
+	}
+	return t.x[int(nd)-1]
+}
+
+// branchVoltagePrev returns the element's branch voltage at the
+// previous solution (used for the inductor companion RHS).
+func (t *Transient) branchVoltagePrev(e *element) float64 {
+	return t.nodeV(e.a) - t.nodeV(e.b)
+}
+
+// V returns the most recent voltage at a node.
+func (t *Transient) V(nd Node) float64 { return t.nodeV(nd) }
+
+// BranchCurrent returns the most recent current through a named V
+// source or inductor (positive a→b).
+func (t *Transient) BranchCurrent(name string) (float64, error) {
+	for i := range t.c.elements {
+		e := &t.c.elements[i]
+		if e.name == name && (e.kind == kindV || e.kind == kindL) {
+			return t.x[e.branch], nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: no branch named %q", name)
+}

@@ -1,0 +1,607 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/ga"
+	"repro/internal/isa"
+	"repro/internal/testbed"
+)
+
+func testCodeGen() *CodeGen {
+	return &CodeGen{
+		Opcodes:   DefaultOpcodeList(),
+		Width:     4,
+		LoopIters: 1000,
+		MemBytes:  4096,
+	}
+}
+
+func TestOpcodeLists(t *testing.T) {
+	for _, op := range DefaultOpcodeList() {
+		if op.Class == isa.ClassBranch || op.Class == isa.ClassBarrier || op.Class == isa.ClassNOP {
+			t.Errorf("%s should not be in the default list", op.Name)
+		}
+	}
+	for _, op := range IntOnlyOpcodeList() {
+		if op.Class.IsFP() {
+			t.Errorf("%s is FP but in the int-only list", op.Name)
+		}
+	}
+}
+
+func TestCodeGenValidate(t *testing.T) {
+	cg := testCodeGen()
+	if err := cg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *cg
+	bad.Opcodes = []*isa.Opcode{isa.MustLookup("jnz")}
+	if err := bad.Validate(); err == nil {
+		t.Error("branch in opcode list accepted")
+	}
+	bad = *cg
+	bad.Width = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = *cg
+	bad.MemBytes = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny memory accepted")
+	}
+}
+
+func TestGenomeBuildStructure(t *testing.T) {
+	cg := testCodeGen()
+	rng := rand.New(rand.NewSource(3))
+	g := cg.NewGenome(rng, 6, 3, 18, 0.2)
+	if len(g.Slots) != 6*4 {
+		t.Fatalf("slots = %d", len(g.Slots))
+	}
+	if cg.HPCycles(g) != 18 {
+		t.Errorf("HP cycles = %d, want 18", cg.HPCycles(g))
+	}
+	p, err := cg.Build("test", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Structure: movimm×2 + S×K×W slot instructions + LP nops + dec + jnz.
+	want := 2 + 3*6*4 + 18*4 + 2
+	if p.Len() != want {
+		t.Errorf("program length %d, want %d", p.Len(), want)
+	}
+	// Loop label must point at the first post-init instruction.
+	if p.Labels["loop"] != 2 {
+		t.Errorf("loop label at %d", p.Labels["loop"])
+	}
+	// Programs must reassemble from their own text.
+	if _, err := asm.Parse(p.Text()); err != nil {
+		t.Errorf("generated program does not reassemble: %v", err)
+	}
+}
+
+func TestGenomeBuildRejectsBadShape(t *testing.T) {
+	cg := testCodeGen()
+	g := Genome{Slots: make([]Slot, 8), S: 0, LPCycles: 4}
+	if _, err := cg.Build("bad", g); err == nil {
+		t.Error("S=0 accepted")
+	}
+	g = Genome{Slots: make([]Slot, 8), S: 1, LPCycles: -1}
+	if _, err := cg.Build("bad", g); err == nil {
+		t.Error("negative LP accepted")
+	}
+}
+
+func TestAllNopGenomeBuildsToNops(t *testing.T) {
+	cg := testCodeGen()
+	g := Genome{Slots: make([]Slot, 4*4), S: 1, LPCycles: 2}
+	for i := range g.Slots {
+		g.Slots[i] = Slot{Op: -1}
+	}
+	p, err := cg.Build("nops", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := p.InstructionMix()
+	if mix[isa.ClassNOP] != 4*4+2*4 {
+		t.Errorf("NOP count = %d", mix[isa.ClassNOP])
+	}
+}
+
+func TestCrossoverAndMutatePreserveShape(t *testing.T) {
+	cg := testCodeGen()
+	rng := rand.New(rand.NewSource(7))
+	a := cg.NewGenome(rng, 6, 2, 12, 0.2)
+	b := cg.NewGenome(rng, 6, 2, 12, 0.2)
+	child := cg.Crossover(rng, a, b)
+	if len(child.Slots) != len(a.Slots) || child.S != a.S || child.LPCycles != a.LPCycles {
+		t.Error("crossover changed genome shape")
+	}
+	mut := cg.Mutate(rng, child)
+	if len(mut.Slots) != len(child.Slots) {
+		t.Error("mutate changed slot count")
+	}
+	// Mutate must not alias the parent.
+	mut.Slots[0] = Slot{Op: -1}
+	childCopy := child.Clone()
+	childCopy.Slots[0] = Slot{Op: 1}
+	if child.Slots[0] == (Slot{Op: -1}) && mut.Slots[0] == child.Slots[0] {
+		t.Error("mutate aliased parent slots")
+	}
+	// Every slot produced must build.
+	if _, err := cg.Build("m", mut); err != nil {
+		t.Errorf("mutated genome does not build: %v", err)
+	}
+}
+
+func TestSlotInstructionOperandsAreWellFormed(t *testing.T) {
+	cg := testCodeGen()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		s := cg.randomSlot(rng, 0)
+		in, ok := cg.instr(s, trial)
+		if !ok {
+			continue
+		}
+		if err := in.Valid(); err != nil {
+			t.Fatalf("slot %+v → invalid instruction %q: %v", s, in.String(), err)
+		}
+		// Destinations must stay inside the accumulator pools (never the
+		// loop counter or memory base).
+		if d := in.Dest(); d.Valid() && d.Kind == isa.RegGPR {
+			if d.Index < 8 {
+				t.Fatalf("generated dst %s collides with reserved registers", d)
+			}
+		}
+	}
+}
+
+func TestDitherPlanExact(t *testing.T) {
+	plan, err := ExactDither([]int{0, 1, 2, 3}, 24, 960)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Specs) != 3 {
+		t.Fatalf("specs = %d, want 3 (core 0 is the reference)", len(plan.Specs))
+	}
+	wantPeriods := []uint64{960, 960 * 24, 960 * 24 * 24}
+	for i, spec := range plan.Specs {
+		if spec.PeriodCycles != wantPeriods[i] {
+			t.Errorf("core %d period = %d, want %d", i+1, spec.PeriodCycles, wantPeriods[i])
+		}
+		if spec.PadCycles != 1 {
+			t.Errorf("exact pad = %d, want 1", spec.PadCycles)
+		}
+	}
+	if plan.SweepCycles != 960*24*24*24 {
+		t.Errorf("sweep = %g", plan.SweepCycles)
+	}
+}
+
+// The §3.B wall-clock numbers: 4 GHz, L+H=24, M=960.
+func TestDitherPaperNumbers(t *testing.T) {
+	clock := 4e9
+	// Four cores, exact: 3.3 ms.
+	got := ExactSweepCycles(4, 24, 960) / clock
+	if math.Abs(got-3.3e-3)/3.3e-3 > 0.02 {
+		t.Errorf("4-core exact sweep = %.4g s, paper says 3.3 ms", got)
+	}
+	// Eight cores, exact: 18.35 minutes.
+	got = ExactSweepCycles(8, 24, 960) / clock
+	if math.Abs(got-18.35*60)/(18.35*60) > 0.02 {
+		t.Errorf("8-core exact sweep = %.4g s, paper says 18.35 min", got)
+	}
+	// Eight cores, approximate with δ=3: 67 ms.
+	got = ApproxSweepCycles(8, 24, 960, 3) / clock
+	if math.Abs(got-67e-3)/67e-3 > 0.05 {
+		t.Errorf("8-core δ=3 sweep = %.4g s, paper says 67 ms", got)
+	}
+}
+
+func TestDitherPlanApprox(t *testing.T) {
+	plan, err := ApproxDither([]int{0, 1, 2, 3, 4, 5, 6, 7}, 24, 960, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Specs) != 7 {
+		t.Fatalf("specs = %d", len(plan.Specs))
+	}
+	for _, spec := range plan.Specs {
+		if spec.PadCycles != 4 {
+			t.Errorf("δ=3 pad = %d, want 4", spec.PadCycles)
+		}
+	}
+	if plan.Specs[1].PeriodCycles != 960*6 {
+		t.Errorf("second period = %d, want %d", plan.Specs[1].PeriodCycles, 960*6)
+	}
+	// δ+1 must divide L+H.
+	if _, err := ApproxDither([]int{0, 1}, 25, 960, 3); err == nil {
+		t.Error("L+H not a multiple of δ+1 accepted")
+	}
+	if _, err := ApproxDither([]int{0, 1}, 24, 960, 0); err == nil {
+		t.Error("δ=0 should be rejected by ApproxDither")
+	}
+}
+
+func TestDitherPlanErrors(t *testing.T) {
+	if _, err := ExactDither(nil, 24, 960); err == nil {
+		t.Error("empty cores accepted")
+	}
+	if _, err := ExactDither([]int{0}, 1, 960); err == nil {
+		t.Error("loop too short accepted")
+	}
+	if _, err := ExactDither([]int{0, 1}, 24, 0); err == nil {
+		t.Error("M=0 accepted")
+	}
+}
+
+func TestResonanceSweepFindsPDNResonance(t *testing.T) {
+	p := testbed.Bulldozer()
+	sweep := ResonanceSweep{Platform: p, MeasureCycles: 8000, WarmupCycles: 2500}
+	pts, best, err := sweep.Run(16, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 13 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	wantPeriod := p.Chip.ClockHz / p.PDN.FirstDroopNominal() // ≈ 35.8 cycles
+	if math.Abs(float64(best.LoopCycles)-wantPeriod) > 8 {
+		t.Errorf("sweep best loop = %d cycles, want ≈ %.1f", best.LoopCycles, wantPeriod)
+	}
+	if best.DroopV <= 0 {
+		t.Error("no droop measured")
+	}
+}
+
+func TestResonanceSweepValidation(t *testing.T) {
+	p := testbed.Bulldozer()
+	sweep := ResonanceSweep{Platform: p}
+	if _, _, err := sweep.Run(2, 1, 1); err == nil {
+		t.Error("bad range accepted")
+	}
+	if _, err := ProbeProgram(2, 4, 10, true); err == nil {
+		t.Error("tiny probe accepted")
+	}
+}
+
+func smallGA(seed int64) ga.Config {
+	return ga.Config{
+		PopSize:        8,
+		Elites:         2,
+		TournamentK:    3,
+		MutationProb:   0.6,
+		MaxGenerations: 4,
+		StagnantLimit:  0,
+		Seed:           seed,
+	}
+}
+
+func TestGenerateResonantStressmark(t *testing.T) {
+	p := testbed.Bulldozer()
+	period := int(math.Round(p.Chip.ClockHz / p.PDN.FirstDroopNominal()))
+	sm, err := Generate(Options{
+		Platform:      p,
+		LoopCycles:    period,
+		GA:            smallGA(5),
+		MeasureCycles: 3000,
+		WarmupCycles:  2000,
+		Name:          "a-res-test",
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.DroopV <= 0 {
+		t.Fatal("generated stressmark has no droop")
+	}
+	if sm.Program == nil || sm.Program.Len() == 0 {
+		t.Fatal("no program")
+	}
+	if err := sm.Program.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Search.Evaluations < smallGA(5).PopSize {
+		t.Error("GA did not evaluate")
+	}
+	// The generated mark should be at least as good as the trivial
+	// FMA/NOP probe at the same loop length — the probe pattern is in
+	// the search space.
+	probe, err := ProbeProgram(period, p.Chip.DecodeWidth, 1<<40, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := testbed.SpreadPlacement(p.Chip, probe, 4)
+	m, err := p.Run(testbed.RunConfig{Threads: specs, MaxCycles: 5000, WarmupCycles: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.DroopV < 0.6*m.MaxDroopV {
+		t.Errorf("generated droop %.4f far below trivial probe %.4f", sm.DroopV, m.MaxDroopV)
+	}
+}
+
+func TestGenerateExcitationMode(t *testing.T) {
+	p := testbed.Bulldozer()
+	sm, err := Generate(Options{
+		Platform:      p,
+		LoopCycles:    36,
+		Mode:          Excitation,
+		GA:            smallGA(9),
+		MeasureCycles: 3000,
+		WarmupCycles:  2000,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Mode != Excitation {
+		t.Error("mode not recorded")
+	}
+	// Excitation programs have a much longer loop (6 periods).
+	if sm.Program.Len() < 36*4 {
+		t.Errorf("excitation program suspiciously short: %d", sm.Program.Len())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := testbed.Bulldozer()
+	gen := func() float64 {
+		sm, err := Generate(Options{
+			Platform:      p,
+			LoopCycles:    36,
+			GA:            smallGA(21),
+			MeasureCycles: 2500,
+			WarmupCycles:  1500,
+			Seed:          21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm.DroopV
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Errorf("generation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestGenerateUnderThrottleCannotMatchUnthrottled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA budget too large for -short")
+	}
+	p := testbed.Bulldozer()
+	gacfg := ga.Config{
+		PopSize: 10, Elites: 2, TournamentK: 3, MutationProb: 0.6,
+		MaxGenerations: 8, Seed: 13,
+	}
+	base, err := Generate(Options{
+		Platform: p, LoopCycles: 36, GA: gacfg,
+		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttled, err := Generate(Options{
+		Platform: p, LoopCycles: 36, GA: gacfg, FPThrottle: 1,
+		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.B: the throttled-trained stressmark (A-Res-Th) works around
+	// the restriction but "is not able to match the droops seen without
+	// FPU throttling".
+	if throttled.DroopV >= base.DroopV {
+		t.Errorf("throttled generation droop %.4f should trail unthrottled %.4f",
+			throttled.DroopV, base.DroopV)
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	m := &testbed.Measurement{MaxDroopV: 0.1, AvgPowerW: 50, Cycles: 100}
+	m.UnitTotals[isa.UnitIDiv] = 50
+	if MaxDroop(m) != 0.1 {
+		t.Error("MaxDroop wrong")
+	}
+	if got := DroopPerWatt(m); math.Abs(got-0.002) > 1e-12 {
+		t.Errorf("DroopPerWatt = %v", got)
+	}
+	pw := PathWeighted(map[isa.Unit]float64{isa.UnitIDiv: 0.2})
+	if got := pw(m); math.Abs(got-(0.1+0.2*0.5)) > 1e-12 {
+		t.Errorf("PathWeighted = %v", got)
+	}
+	zero := &testbed.Measurement{}
+	if DroopPerWatt(zero) != 0 {
+		t.Error("DroopPerWatt should guard zero power")
+	}
+	if pw(zero) != 0 {
+		t.Error("PathWeighted should guard zero cycles")
+	}
+}
+
+func TestStressmarkSaveLoadResume(t *testing.T) {
+	p := testbed.Bulldozer()
+	sm, err := Generate(Options{
+		Platform: p, LoopCycles: 36, GA: smallGA(41),
+		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 41, Name: "ckpt",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, pop, err := LoadStressmark(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != sm.Name || back.LoopCycles != sm.LoopCycles || back.DroopV != sm.DroopV {
+		t.Errorf("metadata changed: %+v vs %+v", back, sm)
+	}
+	if back.Program.Len() != sm.Program.Len() {
+		t.Error("program changed across save/load")
+	}
+	if len(pop) != smallGA(41).PopSize {
+		t.Errorf("population size = %d, want %d", len(pop), smallGA(41).PopSize)
+	}
+	// Resuming with the saved population must do at least as well.
+	resumed, err := Generate(Options{
+		Platform: p, LoopCycles: 36, GA: smallGA(43), SeedGenomes: pop,
+		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 43, Name: "resumed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.DroopV < sm.DroopV*0.999 {
+		t.Errorf("resumed search regressed: %.4f vs checkpoint %.4f", resumed.DroopV, sm.DroopV)
+	}
+}
+
+func TestLoadStressmarkRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadStressmark(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := LoadStressmark(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, _, err := LoadStressmark(strings.NewReader(`{"version":1,"program":"!!!"}`)); err == nil {
+		t.Error("bad base64 accepted")
+	}
+}
+
+func TestSaveRequiresProgram(t *testing.T) {
+	sm := &Stressmark{}
+	if err := sm.Save(io.Discard); err == nil {
+		t.Error("empty stressmark saved")
+	}
+}
+
+func TestGenerateSuite(t *testing.T) {
+	p := testbed.Bulldozer()
+	scenarios := DefaultSuite(p)
+	if len(scenarios) != 5 {
+		t.Fatalf("default suite has %d scenarios, want 5", len(scenarios))
+	}
+	// Tiny budget: the point here is coverage of the scenario matrix.
+	marks, err := GenerateSuite(p, scenarios[:3], Options{
+		GA:            smallGA(51),
+		LoopCycles:    36,
+		MeasureCycles: 2000,
+		WarmupCycles:  1500,
+		Seed:          51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 3 {
+		t.Fatalf("marks = %d", len(marks))
+	}
+	for i, sm := range marks {
+		if sm.Threads != scenarios[i].Threads {
+			t.Errorf("%s: threads %d, want %d", sm.Name, sm.Threads, scenarios[i].Threads)
+		}
+		if sm.DroopV <= 0 {
+			t.Errorf("%s: no droop", sm.Name)
+		}
+	}
+	if _, err := GenerateSuite(p, nil, Options{}); err == nil {
+		t.Error("empty suite accepted")
+	}
+}
+
+func TestGenerateHetero(t *testing.T) {
+	p := testbed.Bulldozer()
+	sm, err := GenerateHetero(Options{
+		Platform: p, LoopCycles: 36, Threads: 8,
+		GA:            smallGA(61),
+		MeasureCycles: 2500, WarmupCycles: 1500,
+		Seed: 61, Name: "hetero-8t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Programs) != 8 {
+		t.Fatalf("programs = %d", len(sm.Programs))
+	}
+	for i, prog := range sm.Programs {
+		if err := prog.Validate(); err != nil {
+			t.Errorf("thread %d: %v", i, err)
+		}
+	}
+	if sm.DroopV <= 0 {
+		t.Fatal("no droop")
+	}
+	// The complementary seed should show up as asymmetry: not all
+	// per-thread programs are identical.
+	same := true
+	first := sm.Programs[0].Text()
+	for _, prog := range sm.Programs[1:] {
+		if prog.Text() != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("heterogeneous generation produced identical threads")
+	}
+}
+
+func TestGenerateHeteroValidation(t *testing.T) {
+	p := testbed.Bulldozer()
+	if _, err := GenerateHetero(Options{Platform: p, GA: smallGA(1), Threads: 2}); err == nil {
+		t.Error("missing LoopCycles accepted")
+	}
+	if _, err := GenerateHetero(Options{Platform: p, GA: smallGA(1), Threads: 2, LoopCycles: 36, Mode: Excitation}); err == nil {
+		t.Error("excitation mode accepted")
+	}
+}
+
+func TestPropertyArbitraryGenomesBuildAndRun(t *testing.T) {
+	// Robustness: any genome the operators can produce must build into
+	// a valid program that executes without wedging the simulator.
+	p := testbed.Bulldozer()
+	cg := &CodeGen{
+		Opcodes:   DefaultOpcodeList(),
+		Width:     p.Chip.DecodeWidth,
+		LoopIters: 50,
+		MemBytes:  4096,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cg.NewGenome(rng, 1+rng.Intn(8), 1+rng.Intn(4), rng.Intn(30), rng.Float64())
+		for i := 0; i < 5; i++ {
+			g = cg.Mutate(rng, g)
+		}
+		prog, err := cg.Build("prop", g)
+		if err != nil {
+			return false
+		}
+		if prog.Validate() != nil {
+			return false
+		}
+		specs, err := testbed.SpreadPlacement(p.Chip, prog, 2)
+		if err != nil {
+			return false
+		}
+		m, err := p.Run(testbed.RunConfig{Threads: specs, MaxCycles: 4000})
+		if err != nil {
+			return false
+		}
+		return m.Retired > 0 && !math.IsNaN(m.MaxDroopV) && m.MaxDroopV >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

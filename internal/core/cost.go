@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/testbed"
+)
+
+// CostFunc scores a measurement; AUDIT maximises it. The paper
+// (footnote 1) notes the cost function is pluggable: maximum droop is
+// the default, but droop-per-watt or path-weighted variants "are also
+// feasible and easy to implement" — these are those.
+type CostFunc func(m *testbed.Measurement) float64
+
+// MaxDroop is the default cost: the worst measured voltage droop.
+func MaxDroop(m *testbed.Measurement) float64 { return m.MaxDroopV }
+
+// DroopPerWatt rewards droop while penalising average power — useful
+// when hunting for stress patterns that evade power-based throttles.
+func DroopPerWatt(m *testbed.Measurement) float64 {
+	if m.AvgPowerW <= 0 {
+		return 0
+	}
+	return m.MaxDroopV / m.AvgPowerW
+}
+
+// PathWeighted rewards droop and the exercising of chosen units —
+// "adjust the cost function to reward the use of certain types of
+// instructions that exercise critical paths if they are known"
+// (§5.A.4). weights maps unit → bonus volts per (issues/cycle).
+func PathWeighted(weights map[isa.Unit]float64) CostFunc {
+	return func(m *testbed.Measurement) float64 {
+		score := m.MaxDroopV
+		if m.Cycles == 0 {
+			return score
+		}
+		for u, w := range weights {
+			perCycle := float64(m.UnitTotals[u]) / float64(m.Cycles)
+			score += w * perCycle
+		}
+		return score
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/testbed"
+)
+
+// DitherPlan schedules the NOP padding that sweeps all relative thread
+// alignments (§3.B). Core 0 is the reference and receives no padding;
+// core c (1 ≤ c < C) receives Pad cycles of padding every Period(c)
+// cycles, so over the sweep every point of the alignment lattice is
+// visited for at least M cycles.
+type DitherPlan struct {
+	// Specs is ready to hand to testbed.RunConfig.Dither.
+	Specs []testbed.DitherSpec
+	// SweepCycles is the worst-case cycle count to visit every
+	// alignment: M×k^(C-1) (k = L+H exact; k = (L+H)/(δ+1) approximate).
+	SweepCycles float64
+	// Delta is the alignment granularity: 0 for the exact algorithm.
+	Delta int
+}
+
+// ExactDither builds the exact plan: core c pads 1 cycle every
+// M×(L+H)^(c-1) cycles; the full sweep takes M×(L+H)^(C-1) cycles.
+// cores lists the global core indices running the stressmark, reference
+// first.
+func ExactDither(cores []int, loopCycles, m int) (DitherPlan, error) {
+	return ditherPlan(cores, loopCycles, m, 0)
+}
+
+// ApproxDither builds the approximate plan of §3.B for many-core
+// systems: alignments are only visited to within δ cycles, shrinking
+// the lattice from (L+H)^(C-1) to ((L+H)/(δ+1))^(C-1). L+H must be a
+// multiple of δ+1.
+func ApproxDither(cores []int, loopCycles, m, delta int) (DitherPlan, error) {
+	if delta < 1 {
+		return DitherPlan{}, fmt.Errorf("core: approximate dither needs δ ≥ 1 (use ExactDither for δ=0)")
+	}
+	return ditherPlan(cores, loopCycles, m, delta)
+}
+
+func ditherPlan(cores []int, loopCycles, m, delta int) (DitherPlan, error) {
+	if len(cores) < 1 {
+		return DitherPlan{}, fmt.Errorf("core: dither plan needs at least one core")
+	}
+	if loopCycles < 2 {
+		return DitherPlan{}, fmt.Errorf("core: loop length %d too short", loopCycles)
+	}
+	if m < 1 {
+		return DitherPlan{}, fmt.Errorf("core: M must be ≥ 1")
+	}
+	pad := delta + 1 // exact: δ=0 → 1 cycle of padding
+	if loopCycles%pad != 0 {
+		return DitherPlan{}, fmt.Errorf("core: L+H=%d must be a multiple of δ+1=%d", loopCycles, pad)
+	}
+	k := loopCycles / pad
+	plan := DitherPlan{Delta: delta}
+	period := float64(m)
+	for c := 1; c < len(cores); c++ {
+		if period > 1e18 {
+			return DitherPlan{}, fmt.Errorf("core: dither period overflows for %d cores (use ApproxDither with a larger δ)", len(cores))
+		}
+		plan.Specs = append(plan.Specs, testbed.DitherSpec{
+			Core:         cores[c],
+			PeriodCycles: uint64(period),
+			PadCycles:    uint64(pad),
+		})
+		period *= float64(k)
+	}
+	plan.SweepCycles = float64(m) * math.Pow(float64(k), float64(len(cores)-1))
+	return plan, nil
+}
+
+// SweepSeconds converts a sweep length to wall-clock time at clockHz —
+// the quantity behind the paper's example: at 4 GHz with L+H=24 and
+// M=960, four cores align in 3.3 ms but eight need 18.35 minutes, which
+// the approximate algorithm with δ=3 cuts to 67 ms.
+func (p DitherPlan) SweepSeconds(clockHz float64) float64 {
+	return p.SweepCycles / clockHz
+}
+
+// ExactSweepCycles returns M×(L+H)^(C-1) without building a plan
+// (analytic cost used in the §3.B table).
+func ExactSweepCycles(cores, loopCycles, m int) float64 {
+	return float64(m) * math.Pow(float64(loopCycles), float64(cores-1))
+}
+
+// ApproxSweepCycles returns M×((L+H)/(δ+1))^(C-1).
+func ApproxSweepCycles(cores, loopCycles, m, delta int) float64 {
+	k := float64(loopCycles) / float64(delta+1)
+	return float64(m) * math.Pow(k, float64(cores-1))
+}

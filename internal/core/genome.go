@@ -1,0 +1,334 @@
+// Package core implements AUDIT, the automated di/dt stressmark
+// generation framework of the paper: a genetic algorithm searches over
+// instruction schedules whose measured voltage droop — on the testbed
+// "hardware" path — is the fitness. The package provides the
+// hierarchical sub-block genome (§3.C), the code generator that turns
+// genomes into NASM-style programs, automatic resonance-frequency
+// detection (§3), the exact and approximate dithering planners for
+// multi-core thread alignment (§3.B), and the end-to-end generation
+// driver with pluggable cost functions.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Slot is one instruction slot in a sub-block: an opcode choice plus
+// operand selectors. Op == -1 leaves the slot as a NOP — the GA can and
+// does exploit this, which is how AUDIT discovered that sprinkling NOPs
+// into the high-power region raises the droop (§5.A.5).
+type Slot struct {
+	// Op indexes the generator's opcode list; -1 = NOP.
+	Op int16
+	// A selects the destination register, B/C the sources (interpreted
+	// modulo the relevant register-pool size per the opcode's shape).
+	A, B, C uint8
+}
+
+// Genome is a hierarchical stressmark candidate: one sub-block of
+// K cycles × issue-width slots, replicated S times to form the
+// high-power region, followed by a NOP low-power region. Flat
+// ([13]-style) genomes are the special case S == 1 with a sub-block as
+// long as the whole HP region.
+type Genome struct {
+	// Slots holds K×Width entries, row-major by cycle.
+	Slots []Slot
+	// S is the sub-block replication count.
+	S int
+	// LPCycles is the length of the NOP region in decode cycles.
+	LPCycles int
+}
+
+// Clone deep-copies the genome.
+func (g Genome) Clone() Genome {
+	out := g
+	out.Slots = append([]Slot(nil), g.Slots...)
+	return out
+}
+
+// Register pools used by the code generator. The loop counter (rcx) and
+// memory base (rbp) are reserved; XMM accumulators are kept apart from
+// the toggle-seeded XMM sources so the alternating maximum-toggle
+// values (§3) keep feeding the functional units.
+const (
+	numXMMAcc = 12 // xmm0..xmm11 accumulate results
+	numXMMSrc = 4  // xmm12..xmm15 hold alternating toggle patterns
+	numGPRAcc = 8  // r8..r15
+	numGPRSrc = 2  // rsi, rdi hold toggle patterns
+)
+
+func xmmAcc(sel uint8) isa.Reg { return isa.XMM(int(sel) % numXMMAcc) }
+func xmmSrc(sel uint8) isa.Reg { return isa.XMM(numXMMAcc + int(sel)%numXMMSrc) }
+func gprAcc(sel uint8) isa.Reg { return isa.GPR(8 + int(sel)%numGPRAcc) }
+func gprSrc(sel uint8) isa.Reg { return isa.GPR(6 + int(sel)%numGPRSrc) }
+
+// CodeGen turns genomes into runnable programs.
+type CodeGen struct {
+	// Opcodes is the instruction repertoire the GA may use (the
+	// framework's "opcode list" input, Fig. 5). Branches and barriers
+	// are managed by the generator itself and are rejected here.
+	Opcodes []*isa.Opcode
+	// Width is slots per cycle (the machine's decode width).
+	Width int
+	// LoopIters is the trip count of generated loops.
+	LoopIters int64
+	// MemBytes sizes the data segment for load/store slots.
+	MemBytes int
+}
+
+// Validate checks the configuration.
+func (cg *CodeGen) Validate() error {
+	if len(cg.Opcodes) == 0 {
+		return fmt.Errorf("core: empty opcode list")
+	}
+	for _, op := range cg.Opcodes {
+		switch op.Class {
+		case isa.ClassBranch, isa.ClassBarrier:
+			return fmt.Errorf("core: opcode list may not contain %s", op.Name)
+		}
+	}
+	if cg.Width < 1 {
+		return fmt.Errorf("core: width must be ≥ 1")
+	}
+	if cg.LoopIters < 1 {
+		return fmt.Errorf("core: loop iterations must be ≥ 1")
+	}
+	if cg.MemBytes < 64 {
+		return fmt.Errorf("core: memory segment too small")
+	}
+	return nil
+}
+
+// NewGenome creates a random genome with the given sub-block size
+// (cycles), replication count and LP length. nopBias is the probability
+// a slot starts empty.
+func (cg *CodeGen) NewGenome(rng *rand.Rand, subBlockCycles, s, lpCycles int, nopBias float64) Genome {
+	n := subBlockCycles * cg.Width
+	g := Genome{Slots: make([]Slot, n), S: s, LPCycles: lpCycles}
+	for i := range g.Slots {
+		g.Slots[i] = cg.randomSlot(rng, nopBias)
+	}
+	return g
+}
+
+func (cg *CodeGen) randomSlot(rng *rand.Rand, nopBias float64) Slot {
+	if rng.Float64() < nopBias {
+		return Slot{Op: -1}
+	}
+	return Slot{
+		Op: int16(rng.Intn(len(cg.Opcodes))),
+		A:  uint8(rng.Intn(256)),
+		B:  uint8(rng.Intn(256)),
+		C:  uint8(rng.Intn(256)),
+	}
+}
+
+// Crossover mixes two genomes slot-wise (uniform crossover) and
+// inherits S/LPCycles from the first parent.
+func (cg *CodeGen) Crossover(rng *rand.Rand, a, b Genome) Genome {
+	child := a.Clone()
+	if len(b.Slots) == len(child.Slots) {
+		for i := range child.Slots {
+			if rng.Intn(2) == 1 {
+				child.Slots[i] = b.Slots[i]
+			}
+		}
+	}
+	return child
+}
+
+// Mutate perturbs 1–3 slots: replace with a fresh random slot, blank to
+// NOP, or tweak operand selectors.
+func (cg *CodeGen) Mutate(rng *rand.Rand, g Genome) Genome {
+	out := g.Clone()
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		at := rng.Intn(len(out.Slots))
+		switch rng.Intn(3) {
+		case 0:
+			out.Slots[at] = cg.randomSlot(rng, 0.1)
+		case 1:
+			out.Slots[at] = Slot{Op: -1}
+		case 2:
+			s := out.Slots[at]
+			s.A = uint8(rng.Intn(256))
+			s.B = uint8(rng.Intn(256))
+			out.Slots[at] = s
+		}
+	}
+	return out
+}
+
+// instr materialises one slot as an instruction. slotIdx individualises
+// memory displacements so load/store slots stride across the segment.
+func (cg *CodeGen) instr(s Slot, slotIdx int) (isa.Instruction, bool) {
+	if s.Op < 0 || int(s.Op) >= len(cg.Opcodes) {
+		return isa.Instruction{}, false
+	}
+	op := cg.Opcodes[s.Op]
+	in := isa.Instruction{Op: op}
+	gpr := op.RegKind == isa.RegGPR
+	switch op.Shape {
+	case isa.ShapeNone:
+		return isa.Instruction{}, false // an explicit nop opcode: same as empty
+	case isa.ShapeRR:
+		if gpr {
+			in.Dst, in.Src1 = gprAcc(s.A), gprSrc(s.B)
+		} else {
+			in.Dst, in.Src1 = xmmAcc(s.A), xmmSrc(s.B)
+		}
+	case isa.ShapeRRR:
+		in.Dst, in.Src1, in.Src2 = xmmAcc(s.A), xmmSrc(s.B), xmmSrc(s.C)
+	case isa.ShapeRI:
+		in.Dst, in.Imm = gprAcc(s.A), int64(s.B)
+	case isa.ShapeLoad:
+		in.Dst = gprAcc(s.A)
+		if !gpr {
+			in.Dst = xmmAcc(s.A)
+		}
+		in.MemBase = isa.RBP
+		in.MemDisp = int32((slotIdx * 64) % cg.MemBytes)
+	case isa.ShapeStore:
+		in.Src1 = gprAcc(s.A)
+		if !gpr {
+			in.Src1 = xmmAcc(s.A)
+		}
+		in.MemBase = isa.RBP
+		in.MemDisp = int32((slotIdx * 64) % cg.MemBytes)
+	default:
+		return isa.Instruction{}, false
+	}
+	return in, true
+}
+
+// Build assembles the genome into a runnable loop program:
+//
+//	movimm rcx, iters
+//	loop:  S × (sub-block slots)   ← high-power region
+//	       LPCycles × Width NOPs   ← low-power region
+//	       dec rcx ; jnz loop
+func (cg *CodeGen) Build(name string, g Genome) (*asm.Program, error) {
+	if err := cg.Validate(); err != nil {
+		return nil, err
+	}
+	if g.S < 1 || g.LPCycles < 0 {
+		return nil, fmt.Errorf("core: bad genome shape S=%d LP=%d", g.S, g.LPCycles)
+	}
+	b := asm.NewBuilder(name)
+	b.SetMem(cg.MemBytes)
+	b.InitToggle(16, 8)
+	b.RI("movimm", isa.RCX, cg.LoopIters)
+	b.RI("movimm", isa.RBP, 0)
+	b.Label("loop")
+	slotIdx := 0
+	for rep := 0; rep < g.S; rep++ {
+		for _, s := range g.Slots {
+			if in, ok := cg.instr(s, slotIdx); ok {
+				b.Raw(in)
+			} else {
+				b.Nop(1)
+			}
+			slotIdx++
+		}
+	}
+	b.Nop(g.LPCycles * cg.Width)
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	return b.Build()
+}
+
+// seedGenome builds the trivial probe-style genome: two high-power FP
+// ops plus NOPs per cycle. It anchors the GA's initial population at a
+// known-good stressmark the search then refines.
+func (cg *CodeGen) seedGenome(subBlockCycles, s, lpCycles int) Genome {
+	// Pick the highest-energy FP opcode available, falling back to the
+	// highest-energy opcode overall.
+	best := 0
+	for i, op := range cg.Opcodes {
+		if op.EnergyPJ > cg.Opcodes[best].EnergyPJ {
+			best = i
+		}
+	}
+	g := Genome{Slots: make([]Slot, subBlockCycles*cg.Width), S: s, LPCycles: lpCycles}
+	for row := 0; row < subBlockCycles; row++ {
+		for w := 0; w < cg.Width; w++ {
+			i := row*cg.Width + w
+			if w < 2 {
+				g.Slots[i] = Slot{Op: int16(best), A: uint8(row*2 + w), B: uint8(w), C: uint8(w + 2)}
+			} else {
+				g.Slots[i] = Slot{Op: -1}
+			}
+		}
+	}
+	return g
+}
+
+// ReplaceNopSlots returns a copy of the genome with every empty slot
+// replaced by the named opcode on rotating independent destination
+// registers — the §5.A.5 ablation ("we replaced the NOPs in the
+// high-power region with independent, integer ADD operations").
+func (cg *CodeGen) ReplaceNopSlots(g Genome, opName string) (Genome, error) {
+	idx := -1
+	for i, op := range cg.Opcodes {
+		if op.Name == opName {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return Genome{}, fmt.Errorf("core: opcode %q not in the generator's list", opName)
+	}
+	out := g.Clone()
+	for i := range out.Slots {
+		if out.Slots[i].Op < 0 {
+			out.Slots[i] = Slot{Op: int16(idx), A: uint8(i), B: uint8(i % 2)}
+		}
+	}
+	return out, nil
+}
+
+// CountNopSlots returns how many slots of the genome are empty.
+func CountNopSlots(g Genome) int {
+	n := 0
+	for _, s := range g.Slots {
+		if s.Op < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// HPCycles returns the nominal high-power region length in cycles.
+func (cg *CodeGen) HPCycles(g Genome) int {
+	return g.S * len(g.Slots) / cg.Width
+}
+
+// DefaultOpcodeList returns the repertoire AUDIT searches over on x86:
+// all integer, FP and SIMD compute plus loads and stores.
+func DefaultOpcodeList() []*isa.Opcode {
+	var out []*isa.Opcode
+	for _, op := range isa.AllOpcodes() {
+		switch op.Class {
+		case isa.ClassBranch, isa.ClassBarrier, isa.ClassNOP:
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// IntOnlyOpcodeList returns a repertoire without FP/SIMD instructions,
+// used when studying throttled or FP-less configurations.
+func IntOnlyOpcodeList() []*isa.Opcode {
+	var out []*isa.Opcode
+	for _, op := range DefaultOpcodeList() {
+		if !op.Class.IsFP() {
+			out = append(out, op)
+		}
+	}
+	return out
+}

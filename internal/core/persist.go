@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+)
+
+// savedStressmark is the JSON wire form of a Stressmark checkpoint.
+// Hardware campaigns take hours (the paper's runs are five-hour
+// affairs), so both the winner and the final GA population are
+// persisted; reloading the population as seeds resumes the search.
+type savedStressmark struct {
+	Version    int       `json:"version"`
+	Name       string    `json:"name"`
+	Threads    int       `json:"threads"`
+	LoopCycles int       `json:"loop_cycles"`
+	Mode       int       `json:"mode"`
+	DroopV     float64   `json:"droop_v"`
+	Genome     Genome    `json:"genome"`
+	Population []Genome  `json:"population,omitempty"`
+	History    []float64 `json:"history,omitempty"`
+	// Program is the base64-encoded binary object image.
+	Program string `json:"program"`
+}
+
+const saveVersion = 1
+
+// Save serialises the stressmark (winner, program image, and — when
+// the search result is attached — the final population) to w.
+func (sm *Stressmark) Save(w io.Writer) error {
+	if sm.Program == nil {
+		return fmt.Errorf("core: stressmark has no program to save")
+	}
+	blob, err := asm.Encode(sm.Program)
+	if err != nil {
+		return err
+	}
+	out := savedStressmark{
+		Version:    saveVersion,
+		Name:       sm.Name,
+		Threads:    sm.Threads,
+		LoopCycles: sm.LoopCycles,
+		Mode:       int(sm.Mode),
+		DroopV:     sm.DroopV,
+		Genome:     sm.Genome,
+		Program:    base64.StdEncoding.EncodeToString(blob),
+	}
+	if sm.Search != nil {
+		out.Population = sm.Search.Population
+		out.History = sm.Search.History
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadStressmark reads a checkpoint written by Save. The returned
+// stressmark's Population (via Resume seeds) lets a follow-up Generate
+// continue the search.
+func LoadStressmark(r io.Reader) (*Stressmark, []Genome, error) {
+	var in savedStressmark
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, nil, fmt.Errorf("core: load: %w", err)
+	}
+	if in.Version != saveVersion {
+		return nil, nil, fmt.Errorf("core: load: unsupported version %d", in.Version)
+	}
+	blob, err := base64.StdEncoding.DecodeString(in.Program)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: load: %w", err)
+	}
+	prog, err := asm.Decode(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	sm := &Stressmark{
+		Name:       in.Name,
+		Threads:    in.Threads,
+		LoopCycles: in.LoopCycles,
+		Mode:       Mode(in.Mode),
+		DroopV:     in.DroopV,
+		Genome:     in.Genome,
+		Program:    prog,
+	}
+	return sm, in.Population, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/testbed"
+)
+
+// SuiteScenario names one usage configuration a stressmark should
+// cover. §5.A.6: "a stressmark that works well for one configuration
+// (such as A-Res for 4T runs) may not produce the best results for
+// other configurations. AUDIT's flexibility and ease of use can be
+// leveraged to develop a suite of stressmarks that can effectively
+// exercise all significant usage scenarios in the system."
+type SuiteScenario struct {
+	Name       string
+	Threads    int
+	Mode       Mode
+	FPThrottle int
+}
+
+// DefaultSuite returns the scenarios the paper's evaluation implies:
+// per-thread-count resonant marks, an excitation mark, and a
+// throttled-configuration mark.
+func DefaultSuite(p testbed.Platform) []SuiteScenario {
+	modules := p.Chip.Modules
+	all := p.Chip.Threads()
+	scenarios := []SuiteScenario{
+		{Name: "res-1t", Threads: 1, Mode: Resonance},
+		{Name: fmt.Sprintf("res-%dt", modules), Threads: modules, Mode: Resonance},
+		{Name: fmt.Sprintf("ex-%dt", modules), Threads: modules, Mode: Excitation},
+		{Name: fmt.Sprintf("res-%dt-throttled", modules), Threads: modules, Mode: Resonance, FPThrottle: 1},
+	}
+	if all > modules {
+		scenarios = append(scenarios, SuiteScenario{
+			Name: fmt.Sprintf("res-%dt", all), Threads: all, Mode: Resonance,
+		})
+	}
+	return scenarios
+}
+
+// GenerateSuite runs AUDIT once per scenario, sharing the platform's
+// detected loop length, and returns the marks in scenario order. base
+// supplies the GA budget and seeds; each scenario's seed is offset so
+// the searches are independent but reproducible.
+func GenerateSuite(p testbed.Platform, scenarios []SuiteScenario, base Options) ([]*Stressmark, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("core: empty suite")
+	}
+	loop := base.LoopCycles
+	if loop == 0 {
+		sweep := ResonanceSweep{Platform: p}
+		_, best, err := sweep.Run(16, 64, 4)
+		if err != nil {
+			return nil, fmt.Errorf("core: suite resonance sweep: %w", err)
+		}
+		loop = best.LoopCycles
+	}
+	var out []*Stressmark
+	for i, sc := range scenarios {
+		opt := base
+		opt.Platform = p
+		opt.LoopCycles = loop
+		opt.Threads = sc.Threads
+		opt.Mode = sc.Mode
+		opt.FPThrottle = sc.FPThrottle
+		opt.Name = sc.Name
+		opt.Seed = base.Seed + int64(i)*101
+		opt.GA.Seed = opt.Seed + 1
+		sm, err := Generate(opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: suite scenario %s: %w", sc.Name, err)
+		}
+		out = append(out, sm)
+	}
+	return out, nil
+}

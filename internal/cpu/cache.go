@@ -1,0 +1,98 @@
+// Package cpu is the cycle-level multi-core out-of-order processor
+// model. It is trace-driven: each thread functionally executes its
+// program (package asm) to produce a stream of micro-ops with real data
+// values, and the timing model schedules those uops against the
+// machine's resources — shared front end, integer clusters, the shared
+// FP unit, caches, result buses — while accumulating per-cycle energy
+// for the PDN model. The structural hazards it models are exactly the
+// ones the paper credits for AUDIT's behaviour: decode width, FP-pipe
+// sharing between sibling threads, result-bus and scheduler limits, and
+// NOPs that cost fetch/decode only.
+package cpu
+
+import "fmt"
+
+// Cache is a set-associative cache with LRU replacement. It tracks tags
+// only — data values come from the functional model — and is used for
+// hit/miss timing and (via misses) activity energy.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets×ways
+	valid     []bool
+	stamp     []uint64 // LRU timestamps
+	tick      uint64
+	hits      uint64
+	misses    uint64
+}
+
+// NewCache builds a cache of totalBytes with the given associativity
+// and line size (both powers of two).
+func NewCache(totalBytes, ways, lineBytes int) (*Cache, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cpu: line size %d not a power of two", lineBytes)
+	}
+	if ways <= 0 || totalBytes <= 0 {
+		return nil, fmt.Errorf("cpu: bad cache geometry")
+	}
+	lines := totalBytes / lineBytes
+	if lines < ways {
+		return nil, fmt.Errorf("cpu: cache too small for %d ways", ways)
+	}
+	sets := lines / ways
+	// Round sets down to a power of two for cheap indexing.
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*ways),
+		valid:     make([]bool, sets*ways),
+		stamp:     make([]uint64, sets*ways),
+	}, nil
+}
+
+// Access looks up addr, fills on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	victim, oldest := base, c.stamp[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.stamp[i] = c.tick
+			c.hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim, oldest = i, 0
+		} else if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.stamp[victim] = c.tick
+	c.misses++
+	return false
+}
+
+// Stats returns cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}

@@ -1,0 +1,256 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/uarch"
+)
+
+// These tests pin down the individual structural hazards the timing
+// model implements, one at a time.
+
+func runFor(t *testing.T, cfg uarch.ChipConfig, p *asm.Program, maxCycles int) (*Chip, uint64) {
+	t.Helper()
+	ch, err := NewChip(cfg, power.BulldozerModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := NewThread(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Attach(0, 0, th); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCycles && !ch.Done(); i++ {
+		ch.Step()
+	}
+	if !ch.Done() {
+		t.Fatalf("%s did not finish in %d cycles", p.Name, maxCycles)
+	}
+	return ch, ch.Cycle()
+}
+
+func TestMSHRBoundsMissParallelism(t *testing.T) {
+	// A burst of independent missing loads should complete in waves of
+	// MSHRs misses, not all at once.
+	mk := func(mshrs int) uint64 {
+		cfg := uarch.Bulldozer()
+		cfg.MSHRs = mshrs
+		b := asm.NewBuilder("miss-burst")
+		b.SetMem(32 << 20)
+		b.RI("movimm", isa.RBP, 0)
+		for i := 0; i < 16; i++ {
+			// Strided by 1 MB: every access its own set, all cold.
+			b.Load("load", isa.GPR(8+i%8), isa.RBP, int32(i)<<20)
+		}
+		p := b.MustBuild()
+		_, cycles := runFor(t, cfg, p, 1<<20)
+		return cycles
+	}
+	wide := mk(16) // all 16 misses overlap
+	narrow := mk(2)
+	if float64(narrow) < 1.8*float64(wide) {
+		t.Errorf("2 MSHRs (%d cycles) should be far slower than 16 (%d cycles)", narrow, wide)
+	}
+}
+
+func TestIntDispatchLimitsDenseRows(t *testing.T) {
+	// 4 independent ALU ops per decode row exceed IntDispatch=2: the
+	// front end must take 2 cycles per row even before the ALU binds.
+	cfg := uarch.Bulldozer()
+	cfg.NumALU = 4 // remove the ALU bottleneck to isolate dispatch
+	b := asm.NewBuilder("dense")
+	b.InitToggle(0, 8)
+	b.RI("movimm", isa.RCX, 400)
+	b.Label("loop")
+	for i := 0; i < 4; i++ {
+		b.RR("xor", isa.GPR(8+i), isa.GPR(6+i%2))
+	}
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	_, cycles := runFor(t, cfg, b.MustBuild(), 1<<20)
+	perIter := float64(cycles) / 400
+	// 5 int ops per iteration / 2 dispatch = 2.5 cycles minimum.
+	if perIter < 2.3 {
+		t.Errorf("dense int rows run at %.2f cycles/iter — dispatch limit not enforced", perIter)
+	}
+}
+
+func TestResultBusBackpressure(t *testing.T) {
+	// Completions above ResultBuses per cycle must serialise: a row of
+	// 2 FMAs + 2 single-cycle ALU ops produces 4 results per cycle in
+	// steady state against 3 write ports.
+	// The chain must be latency-tight for the port conflict to bind:
+	// 12 FMA accumulators at 2 FMAs/cycle reuse each register exactly
+	// 6 cycles later — the FMA latency — so any completion pushed +1 by
+	// a full write-port cycle stalls the next iteration's FMA.
+	run := func(buses int) uint64 {
+		cfg := uarch.Bulldozer()
+		cfg.ResultBuses = buses
+		cfg.NumALU = 4 // remove the ALU bottleneck to isolate the ports
+		b := asm.NewBuilder("busy")
+		b.InitToggle(16, 8)
+		b.RI("movimm", isa.RCX, 400)
+		b.Label("loop")
+		for i := 0; i < 12; i++ {
+			b.RRR("vfmadd132pd", isa.XMM(i%12), isa.XMM(12+i%2), isa.XMM(14+i%2))
+			if i%2 == 1 {
+				// One int result per 2-FMA cycle competes for the ports.
+				b.RR("xor", isa.GPR(8+i%8), isa.RSI)
+			}
+		}
+		b.RR("dec", isa.RCX, isa.RCX)
+		b.Branch("jnz", "loop")
+		_, cycles := runFor(t, cfg, b.MustBuild(), 1<<22)
+		return cycles
+	}
+	constrained := run(2)
+	roomy := run(8)
+	if float64(constrained) <= 1.05*float64(roomy) {
+		t.Errorf("2 write ports (%d cycles) should clearly trail 8 (%d cycles)", constrained, roomy)
+	}
+}
+
+func TestSharedFrontEndAlternation(t *testing.T) {
+	// Two sibling NOP threads share one decoder: each should make
+	// roughly half the progress of a solo thread over a fixed window.
+	cfg := uarch.Bulldozer()
+	mk := func() *asm.Program {
+		b := asm.NewBuilder("nops")
+		b.RI("movimm", isa.RCX, 1<<40)
+		b.Label("loop")
+		b.Nop(8)
+		b.RR("dec", isa.RCX, isa.RCX)
+		b.Branch("jnz", "loop")
+		return b.MustBuild()
+	}
+	progress := func(two bool) uint64 {
+		ch, _ := NewChip(cfg, power.BulldozerModel())
+		th0, _ := NewThread(mk(), 0)
+		if err := ch.Attach(0, 0, th0); err != nil {
+			t.Fatal(err)
+		}
+		if two {
+			th1, _ := NewThread(mk(), 0)
+			if err := ch.Attach(0, 1, th1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 5000; i++ {
+			ch.Step()
+		}
+		return ch.CoreRetired(0)
+	}
+	solo := progress(false)
+	shared := progress(true)
+	ratio := float64(shared) / float64(solo)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("sibling decode share = %.2f of solo, want ≈ 0.5", ratio)
+	}
+}
+
+func TestPhenomPrivateFrontEndsDoNotAlternate(t *testing.T) {
+	cfg := uarch.Phenom() // one core per module: full decode each
+	mk := func() *asm.Program {
+		b := asm.NewBuilder("nops")
+		b.RI("movimm", isa.RCX, 1<<40)
+		b.Label("loop")
+		b.Nop(7)
+		b.RR("dec", isa.RCX, isa.RCX)
+		b.Branch("jnz", "loop")
+		return b.MustBuild()
+	}
+	ch, _ := NewChip(cfg, power.PhenomModel())
+	for m := 0; m < 2; m++ {
+		th, _ := NewThread(mk(), 0)
+		if err := ch.Attach(m, 0, th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		ch.Step()
+	}
+	a, b := ch.CoreRetired(0), ch.CoreRetired(1)
+	if a != b {
+		t.Errorf("independent cores diverged: %d vs %d", a, b)
+	}
+	ipc := float64(a) / 4000
+	if ipc < 2.0 {
+		t.Errorf("per-core IPC %.2f too low for private 3-wide decode", ipc)
+	}
+}
+
+func TestIDivUnpipelined(t *testing.T) {
+	cfg := uarch.Bulldozer()
+	b := asm.NewBuilder("divs")
+	b.InitToggle(0, 8)
+	b.RI("movimm", isa.RCX, 100)
+	b.Label("loop")
+	// Two independent divides per iteration: the unpipelined unit must
+	// serialise them (≈44 cycles), unlike two independent multiplies.
+	b.RR("idiv", isa.GPR(8), isa.RSI)
+	b.RR("idiv", isa.GPR(9), isa.RDI)
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	_, cycles := runFor(t, cfg, b.MustBuild(), 1<<20)
+	perIter := float64(cycles) / 100
+	div := isa.MustLookup("idiv")
+	if perIter < 1.8*float64(div.RecipThroughput) {
+		t.Errorf("two divides take %.1f cycles/iter, want ≥ %d (unpipelined)",
+			perIter, 2*div.RecipThroughput)
+	}
+}
+
+func TestBarrierReleaseSkewStaggersResumption(t *testing.T) {
+	cfg := uarch.Bulldozer()
+	mk := func() *asm.Program {
+		b := asm.NewBuilder("bar")
+		b.Nop(4)
+		b.Barrier(3)
+		b.Nop(40)
+		return b.MustBuild()
+	}
+	ch, _ := NewChip(cfg, power.BulldozerModel())
+	for m := 0; m < 4; m++ {
+		th, _ := NewThread(mk(), 0)
+		if err := ch.Attach(m, 0, th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Track when each core first decodes again after the barrier by
+	// sampling per-core retirement over time.
+	resumed := map[int]uint64{}
+	base := map[int]uint64{}
+	for m := 0; m < 4; m++ {
+		base[m] = 0
+	}
+	for i := 0; i < 600 && !ch.Done(); i++ {
+		ch.Step()
+		for m := 0; m < 4; m++ {
+			g := m * cfg.CoresPerModule
+			r := ch.CoreRetired(g)
+			if _, done := resumed[m]; !done && r > 5 { // past the barrier uop
+				if base[m] == 0 && r >= 5 {
+					base[m] = r
+				}
+				if r > 5 {
+					resumed[m] = ch.Cycle()
+				}
+			}
+		}
+	}
+	if !ch.Done() {
+		t.Fatal("barrier program did not finish")
+	}
+	distinct := map[uint64]bool{}
+	for _, c := range resumed {
+		distinct[c] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("barrier release should stagger cores, resume cycles: %v", resumed)
+	}
+}

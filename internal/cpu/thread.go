@@ -1,0 +1,236 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Uop is one dynamic micro-op produced by a thread's functional
+// execution, carrying the real operand/result values the power model
+// needs for data-toggle energy.
+type Uop struct {
+	In *isa.Instruction
+	// SrcA is the primary source value and Result the computed result
+	// (both zero for NOPs/branches/stores-of-nothing).
+	SrcA   isa.Value
+	Result isa.Value
+	// Addr is the global effective address for memory ops.
+	Addr uint64
+	// Taken and BackBranch describe branch behaviour.
+	Taken      bool
+	BackBranch bool
+	// BarrierID is ≥0 for barrier uops, -1 otherwise.
+	BarrierID int64
+	// Seq is the dynamic instruction number within the thread.
+	Seq uint64
+
+	// memLevel is filled in by the timing model when the access is
+	// issued (which cache level serviced it).
+	memLevel memLevel
+}
+
+const defaultMemBytes = 4096
+
+// Thread functionally executes a program in order, producing the uop
+// stream the timing model consumes. It owns the architectural register
+// file and a private data segment; a per-thread global address base
+// keeps different threads' lines distinct in the shared caches.
+type Thread struct {
+	prog *asm.Program
+	pc   int
+	regs [isa.TotalRegs]isa.Value
+	mem  []byte
+	// zeroFlag models the subset of RFLAGS jnz consumes: set by the
+	// most recent flag-writing integer op.
+	zeroFlag bool
+
+	globalBase uint64
+	seq        uint64
+	maxInstrs  uint64 // 0 = unbounded
+	done       bool
+
+	// buffered lookahead for the decoder
+	cur    Uop
+	curOK  bool
+	primed bool
+}
+
+// NewThread prepares a thread for the given program. maxInstrs bounds
+// dynamic instruction count (0 = run until the program ends naturally).
+func NewThread(p *asm.Program, maxInstrs uint64) (*Thread, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	memBytes := p.MemBytes
+	if memBytes <= 0 {
+		memBytes = defaultMemBytes
+	}
+	// Round to a multiple of 16 so 128-bit accesses can wrap cleanly.
+	memBytes = (memBytes + 15) &^ 15
+	t := &Thread{prog: p, mem: make([]byte, memBytes), maxInstrs: maxInstrs}
+	for r, v := range p.InitRegs {
+		t.regs[r.FlatIndex()] = v
+	}
+	return t, nil
+}
+
+// SetGlobalBase assigns the thread's base in the global physical
+// address space used by the shared caches.
+func (t *Thread) SetGlobalBase(base uint64) { t.globalBase = base }
+
+// Program returns the program under execution.
+func (t *Thread) Program() *asm.Program { return t.prog }
+
+// Done reports whether the stream is exhausted.
+func (t *Thread) Done() bool {
+	t.prime()
+	return !t.curOK
+}
+
+// Peek returns the next uop without consuming it.
+func (t *Thread) Peek() (*Uop, bool) {
+	t.prime()
+	if !t.curOK {
+		return nil, false
+	}
+	return &t.cur, true
+}
+
+// Consume advances past the uop returned by Peek.
+func (t *Thread) Consume() {
+	t.prime()
+	t.primed = false
+}
+
+func (t *Thread) prime() {
+	if t.primed {
+		return
+	}
+	t.cur, t.curOK = t.step()
+	t.primed = true
+}
+
+// Retired returns the dynamic instruction count so far.
+func (t *Thread) Retired() uint64 { return t.seq }
+
+// step executes one instruction functionally.
+func (t *Thread) step() (Uop, bool) {
+	if t.done || t.pc < 0 || t.pc >= len(t.prog.Code) ||
+		(t.maxInstrs > 0 && t.seq >= t.maxInstrs) {
+		t.done = true
+		return Uop{}, false
+	}
+	in := &t.prog.Code[t.pc]
+	u := Uop{In: in, BarrierID: -1, Seq: t.seq}
+	t.seq++
+
+	// Resolve address for memory-shaped ops.
+	var localAddr uint64
+	if in.MemBase.Valid() {
+		localAddr = (t.regs[in.MemBase.FlatIndex()].Lo + uint64(int64(in.MemDisp))) % uint64(len(t.mem))
+		localAddr &^= 15
+		u.Addr = t.globalBase + localAddr
+	}
+
+	var dstOld, src1, src2, memv isa.Value
+	if in.Op.DstIsSrc && in.Dst.Valid() {
+		dstOld = t.regs[in.Dst.FlatIndex()]
+	}
+	if in.Src1.Valid() {
+		src1 = t.regs[in.Src1.FlatIndex()]
+	}
+	if in.Src2.Valid() {
+		src2 = t.regs[in.Src2.FlatIndex()]
+	}
+
+	switch in.Op.Class {
+	case isa.ClassLoad:
+		memv = t.load(localAddr)
+	case isa.ClassStore:
+		t.store(localAddr, src1)
+	case isa.ClassBarrier:
+		u.BarrierID = in.Imm
+	}
+
+	// Primary source for toggle accounting: prefer an explicit source,
+	// else the old destination, else the memory value.
+	switch {
+	case in.Src1.Valid():
+		u.SrcA = src1
+	case in.Op.DstIsSrc && in.Dst.Valid():
+		u.SrcA = dstOld
+	case in.Op.Class == isa.ClassLoad:
+		u.SrcA = memv
+	}
+
+	if in.Op.Class == isa.ClassBranch {
+		u.Taken = t.branchTaken(in)
+		u.BackBranch = in.Target <= t.pc
+		if u.Taken {
+			t.pc = in.Target
+		} else {
+			t.pc++
+		}
+		return u, true
+	}
+
+	res := isa.Exec(in, dstOld, src1, src2, t.globalBase+localAddr, memv)
+	u.Result = res
+	if d := in.Dest(); d.Valid() {
+		t.regs[d.FlatIndex()] = res
+		if d.Kind == isa.RegGPR && flagWriting(in.Op.Class) {
+			t.zeroFlag = res.Lo == 0
+		}
+	}
+	t.pc++
+	return u, true
+}
+
+// flagWriting reports whether the class updates the zero flag, matching
+// x86 where arithmetic/logic ops set flags but moves and loads do not.
+func flagWriting(c isa.Class) bool {
+	switch c {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv:
+		return true
+	}
+	return false
+}
+
+func (t *Thread) branchTaken(in *isa.Instruction) bool {
+	switch in.Op.Name {
+	case "jmp":
+		return true
+	case "jnz":
+		return !t.zeroFlag
+	}
+	return true
+}
+
+func (t *Thread) load(addr uint64) isa.Value {
+	if addr+16 <= uint64(len(t.mem)) {
+		return isa.Value{
+			Lo: binary.LittleEndian.Uint64(t.mem[addr:]),
+			Hi: binary.LittleEndian.Uint64(t.mem[addr+8:]),
+		}
+	}
+	return isa.Value{}
+}
+
+func (t *Thread) store(addr uint64, v isa.Value) {
+	if addr+16 <= uint64(len(t.mem)) {
+		binary.LittleEndian.PutUint64(t.mem[addr:], v.Lo)
+		binary.LittleEndian.PutUint64(t.mem[addr+8:], v.Hi)
+	}
+}
+
+// Reg returns the current architectural value of a register (testing
+// and debugging aid).
+func (t *Thread) Reg(r isa.Reg) (isa.Value, error) {
+	if !r.Valid() {
+		return isa.Value{}, fmt.Errorf("cpu: invalid register")
+	}
+	return t.regs[r.FlatIndex()], nil
+}

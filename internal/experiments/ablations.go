@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pdn"
+	"repro/internal/testbed"
+	"repro/internal/workloads"
+)
+
+// ---- §3: data values matter (~10% of droop) ----
+
+// DataToggleResult compares a stressmark with AUDIT's alternating
+// maximum-toggle operand values against the same code with constant
+// operands.
+type DataToggleResult struct {
+	ToggledDroopV  float64
+	ConstantDroopV float64
+	// ImpactPct is the droop lost by removing toggling; the paper
+	// measured "on the order of 10%".
+	ImpactPct float64
+}
+
+// DataToggle re-measures A-Res with its toggle-seeded initial register
+// values replaced by constants, reproducing §3's observation: "data
+// values used for the stressmark have a measurable impact on the final
+// droop values, on the order of 10%. To take data values into account,
+// we use an alternating set of values that guarantee maximum toggling."
+func (l *Lab) DataToggle() (*DataToggleResult, error) {
+	aRes, err := l.ARes()
+	if err != nil {
+		return nil, err
+	}
+	toggled, err := l.droop(l.BD, aRes.Program, 4)
+	if err != nil {
+		return nil, err
+	}
+	flat := aRes.Program.Clone()
+	flat.Name = "A-Res-const"
+	one := isa.FromFloat64s(1, 1)
+	for r := range flat.InitRegs {
+		if r.Kind == isa.RegXMM {
+			flat.InitRegs[r] = one
+		} else {
+			flat.InitRegs[r] = isa.Value{Lo: 1}
+		}
+	}
+	constant, err := l.droop(l.BD, flat, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &DataToggleResult{ToggledDroopV: toggled, ConstantDroopV: constant}
+	if toggled > 0 {
+		res.ImpactPct = (1 - constant/toggled) * 100
+	}
+	return res, nil
+}
+
+// ---- §3.C: the low-power region — NOPs vs dependent long-latency ops ----
+
+// LPRegionResult compares the two candidate low-power fillers.
+type LPRegionResult struct {
+	NopDroopV   float64
+	DepOpDroopV float64
+	// NOPs won on the paper's machine: "a sequence of NOPs produced
+	// comparable power values to a sequence of long-latency, dependent
+	// operations. NOPs are designed to be very low-power instructions."
+	DeltaPct float64
+}
+
+// LPRegion builds an SM-Res-style loop whose LP half is either NOPs or
+// a dependent divide chain (the [10]-style low-power filler) and
+// compares the droops.
+func (l *Lab) LPRegion() (*LPRegionResult, error) {
+	period := resonancePeriod(l.BD)
+	nop := workloads.SMRes(period)
+	dep := smResWithDependentLP(period)
+	a, err := l.droop(l.BD, nop, 4)
+	if err != nil {
+		return nil, err
+	}
+	b, err := l.droop(l.BD, dep, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &LPRegionResult{NopDroopV: a, DepOpDroopV: b}
+	if a > 0 {
+		res.DeltaPct = (b/a - 1) * 100
+	}
+	return res, nil
+}
+
+// smResWithDependentLP mirrors workloads.SMRes but fills the LP region
+// with a dependent long-latency divide chain instead of NOPs.
+func smResWithDependentLP(loopCycles int) *asm.Program {
+	h := loopCycles / 2
+	l := loopCycles - h - 1
+	b := asm.NewBuilder("SM-Res-depLP")
+	b.SetMem(4096)
+	b.InitToggle(16, 8)
+	b.RI("movimm", isa.RCX, 1<<40)
+	b.Label("loop")
+	for i := 0; i < h; i++ {
+		if i%2 == 0 {
+			b.RRR("vfmadd132pd", isa.XMM(i%12), isa.XMM(12+i%2), isa.XMM(14+i%2))
+			b.RRR("vfmadd132pd", isa.XMM((i+6)%12), isa.XMM(13-i%2), isa.XMM(15-i%2))
+			b.Nop(2)
+		} else {
+			b.RR("pmulld", isa.XMM(i%12), isa.XMM(12+i%2))
+			b.RR("paddd", isa.XMM((i+6)%12), isa.XMM(14+i%2))
+			b.Nop(2)
+		}
+	}
+	// Dependent divide chain: each idiv reads the previous result, so
+	// the region is long-latency and serialised — low activity, like
+	// the [10]-style low-power filler.
+	divs := l / 22 // one unpipelined divide covers ~22 cycles
+	if divs < 1 {
+		divs = 1
+	}
+	for i := 0; i < divs; i++ {
+		b.RR("idiv", isa.GPR(8), isa.RSI)
+	}
+	rem := l*4 - divs // keep decode slots roughly comparable
+	if rem > 0 {
+		b.Nop(rem)
+	}
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	return b.MustBuild()
+}
+
+// ---- VRM load line on/off (measurement methodology of Fig. 9) ----
+
+// LoadLineResult compares droop measurements with the VRM load line
+// enabled and disabled.
+type LoadLineResult struct {
+	// Off is the paper's methodology: di/dt droop only.
+	OffDroopV float64
+	// On adds the load-line IR term to every measurement.
+	OnDroopV float64
+	ExtraMV  float64
+}
+
+// LoadLine quantifies why the paper disables the VRM load line for
+// droop measurements: with it enabled, the DC operating point sags with
+// load current and inflates every droop number by an IR term unrelated
+// to di/dt.
+func (l *Lab) LoadLine() (*LoadLineResult, error) {
+	period := resonancePeriod(l.BD)
+	prog := workloads.SMRes(period)
+	off, err := l.droop(l.BD, prog, 4)
+	if err != nil {
+		return nil, err
+	}
+	pl := l.BD
+	pl.PDN.LoadLineOn = true
+	specs, err := testbed.SpreadPlacement(pl.Chip, prog, 4)
+	if err != nil {
+		return nil, err
+	}
+	// The load-line sag develops with the board stage's RC time
+	// constant (tens of microseconds), so this measurement needs a
+	// longer horizon than the default di/dt runs.
+	m, err := pl.Run(testbed.RunConfig{
+		Threads:      specs,
+		MaxCycles:    300000,
+		WarmupCycles: 250000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LoadLineResult{
+		OffDroopV: off,
+		OnDroopV:  m.MaxDroopV,
+		ExtraMV:   (m.MaxDroopV - off) * 1e3,
+	}, nil
+}
+
+// ---- dither quality: approximate δ vs exact ----
+
+// DitherQualityResult compares the droop found by exact alignment
+// against the approximate algorithm's δ-granular alignment.
+type DitherQualityResult struct {
+	ExactDroopV  float64
+	Delta        int
+	ApproxDroopV float64
+	// LossPct is the droop given up for the exponentially cheaper
+	// sweep.
+	LossPct float64
+}
+
+// DitherQuality measures the cost of the approximate algorithm's
+// alignment granularity: with a δ-cycle mismatch bound, the best
+// alignment the sweep visits can be up to δ cycles off the ideal.
+func (l *Lab) DitherQuality(delta int) (*DitherQualityResult, error) {
+	period := resonancePeriod(l.BD)
+	prog := workloads.SMRes(period)
+	exact, err := l.droop(l.BD, prog, 4)
+	if err != nil {
+		return nil, err
+	}
+	// The worst alignment the approximate sweep can settle for is δ/2
+	// cycles of residual skew on the non-reference cores.
+	m, err := l.measure(l.BD, prog, 4, func(rc *testbed.RunConfig) {
+		for i := range rc.Threads {
+			if i > 0 {
+				rc.Threads[i].StartSkew = uint64((delta + 1) / 2)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DitherQualityResult{ExactDroopV: exact, Delta: delta, ApproxDroopV: m.MaxDroopV}
+	if exact > 0 {
+		res.LossPct = (1 - m.MaxDroopV/exact) * 100
+	}
+	return res, nil
+}
+
+// ---- branch predictor ablation (simulator-insight extension) ----
+
+// PredictorResult compares a mispredict-heavy workload under the static
+// and gshare predictors.
+type PredictorResult struct {
+	StaticDroopV      float64
+	GshareDroopV      float64
+	StaticMispredicts uint64
+	GshareMispredicts uint64
+}
+
+// Predictor runs the branchy perlbench-style kernel under both
+// predictors. Mispredict recovery is one of the natural di/dt events
+// the paper names (§5.A.1: "pipeline recovery after a branch
+// misprediction stall"); a better predictor smooths the activity and
+// with it the droop — the same flattening effect as the mitigation
+// mechanisms of §5.B, arrived at from the front end.
+func (l *Lab) Predictor() (*PredictorResult, error) {
+	w, err := workloads.ByName("perlbench")
+	if err != nil {
+		return nil, err
+	}
+	out := &PredictorResult{}
+	for _, pred := range []string{"static", "gshare"} {
+		pl := l.BD
+		pl.Chip.Predictor = pred
+		specs, err := testbed.SpreadPlacement(pl.Chip, w.Program, 4)
+		if err != nil {
+			return nil, err
+		}
+		m, err := pl.Run(testbed.RunConfig{
+			Threads:      specs,
+			MaxCycles:    l.WarmupCycles + l.MeasureCycles,
+			WarmupCycles: l.WarmupCycles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if pred == "static" {
+			out.StaticDroopV = m.MaxDroopV
+			out.StaticMispredicts = m.Mispredicts
+		} else {
+			out.GshareDroopV = m.MaxDroopV
+			out.GshareMispredicts = m.Mispredicts
+		}
+	}
+	return out, nil
+}
+
+// ---- co-scheduling interference (Reddi et al. [23], discussed in §6) ----
+
+// CoScheduleResult compares pairing choices for two-program mixes on
+// sibling modules.
+type CoScheduleResult struct {
+	// TwoFPDroopV: both modules run the FP-resonant mark (constructive
+	// interference risk).
+	TwoFPDroopV float64
+	// MixedDroopV: FP-resonant paired with a memory-bound program — the
+	// noise-aware co-schedule.
+	MixedDroopV  float64
+	ReductionPct float64
+}
+
+// CoSchedule reproduces the insight of Reddi et al. (cited as the most
+// detailed prior hardware analysis, §6): co-scheduling a high-di/dt
+// thread with a quiet one instead of with another high-di/dt thread
+// reduces the worst droop — the basis of their noise-aware scheduler.
+func (l *Lab) CoSchedule() (*CoScheduleResult, error) {
+	period := resonancePeriod(l.BD)
+	fp := workloads.SMRes(period)
+	mem, err := workloads.ByName("mcf")
+	if err != nil {
+		return nil, err
+	}
+	run := func(progs []*asm.Program) (float64, error) {
+		var specs []testbed.ThreadSpec
+		for i, p := range progs {
+			specs = append(specs, testbed.ThreadSpec{Program: p, Module: i, Core: 0})
+		}
+		m, err := l.BD.Run(testbed.RunConfig{
+			Threads:      specs,
+			MaxCycles:    l.WarmupCycles + l.MeasureCycles,
+			WarmupCycles: l.WarmupCycles,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return m.MaxDroopV, nil
+	}
+	two, err := run([]*asm.Program{fp, fp})
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := run([]*asm.Program{fp, mem.Program})
+	if err != nil {
+		return nil, err
+	}
+	res := &CoScheduleResult{TwoFPDroopV: two, MixedDroopV: mixed}
+	if two > 0 {
+		res.ReductionPct = (1 - mixed/two) * 100
+	}
+	return res, nil
+}
+
+// ---- operating conditions: frequency scaling and board variation ----
+
+// OperatingPointResult records AUDIT's resonance re-detection across
+// operating conditions.
+type OperatingPointResult struct {
+	Name string
+	// ClockHz of the configuration.
+	ClockHz float64
+	// FirstDroopHz is the PDN's analytic resonance.
+	FirstDroopHz float64
+	// DetectedLoop is what the software sweep found.
+	DetectedLoop int
+	// DetectedHz = ClockHz/DetectedLoop.
+	DetectedHz float64
+}
+
+// OperatingPoints runs the resonance-detection sweep across three
+// conditions — the stock system, the same system clocked down (DVFS
+// point), and the same processor on a different board — and reports
+// how the worst-case loop length tracks the physics. This is the §3
+// claim that AUDIT "automatically detect[s] the resonant frequency of
+// the system" wherever it lands.
+func (l *Lab) OperatingPoints() ([]OperatingPointResult, error) {
+	stock := l.BD
+	slow := l.BD
+	slow.Chip.Name = "bulldozer-2.4GHz"
+	slow.Chip.ClockHz = 2.4e9
+	board := l.BD
+	board.Chip.Name = "bulldozer-serverboard"
+	board.PDN = pdn.ServerBoard()
+
+	var out []OperatingPointResult
+	for _, p := range []testbed.Platform{stock, slow, board} {
+		sweep := core.ResonanceSweep{Platform: p}
+		_, best, err := sweep.Run(12, 64, 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OperatingPointResult{
+			Name:         p.Chip.Name,
+			ClockHz:      p.Chip.ClockHz,
+			FirstDroopHz: p.PDN.FirstDroopNominal(),
+			DetectedLoop: best.LoopCycles,
+			DetectedHz:   best.FreqHz,
+		})
+	}
+	return out, nil
+}
+
+// ---- extension: heterogeneous 8T generation ----
+
+// HeteroResult compares homogeneous and heterogeneous 8T generation.
+type HeteroResult struct {
+	HomoDroopV   float64
+	HeteroDroopV float64
+	GainPct      float64
+}
+
+// Hetero8T pits the paper's homogeneous 8T mark (A-Res-8T) against a
+// heterogeneous mark whose sibling threads may specialise. With the
+// FPU shared inside a module, pairing an FP-heavy thread with an
+// integer-heavy sibling avoids the contention that §5.A.2 blames for
+// the 8T losses — a capability the paper's framework implies but does
+// not implement.
+func (l *Lab) Hetero8T() (*HeteroResult, error) {
+	homo, err := l.ARes8T()
+	if err != nil {
+		return nil, err
+	}
+	homoDroop, err := l.droop(l.BD, homo.Program, 8)
+	if err != nil {
+		return nil, err
+	}
+	loop, err := l.LoopCycles(l.BD)
+	if err != nil {
+		return nil, err
+	}
+	het, err := core.GenerateHetero(core.Options{
+		Platform: l.BD, LoopCycles: loop, Threads: 8,
+		GA: l.GA, Seed: 67, Name: "A-Res-8T-hetero",
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Re-measure at the lab's standard run length.
+	specs, err := testbed.SpreadPlacement(l.BD.Chip, het.Programs[0], 8)
+	if err != nil {
+		return nil, err
+	}
+	for i := range specs {
+		specs[i].Program = het.Programs[i]
+	}
+	m, err := l.BD.Run(testbed.RunConfig{
+		Threads:      specs,
+		MaxCycles:    l.WarmupCycles + l.MeasureCycles,
+		WarmupCycles: l.WarmupCycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &HeteroResult{HomoDroopV: homoDroop, HeteroDroopV: m.MaxDroopV}
+	if homoDroop > 0 {
+		res.GainPct = (m.MaxDroopV/homoDroop - 1) * 100
+	}
+	return res, nil
+}

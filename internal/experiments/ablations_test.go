@@ -1,0 +1,140 @@
+package experiments
+
+import "testing"
+
+func TestDataToggleImpact(t *testing.T) {
+	res, err := lab.DataToggle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3: data values move the droop "on the order of 10%": require a
+	// measurable effect in the right direction, within a loose band.
+	if res.ConstantDroopV >= res.ToggledDroopV {
+		t.Errorf("constant operands (%.4f) should droop less than toggled (%.4f)",
+			res.ConstantDroopV, res.ToggledDroopV)
+	}
+	if res.ImpactPct < 2 || res.ImpactPct > 40 {
+		t.Errorf("toggle impact %.1f%% outside the plausible band around the paper's ~10%%", res.ImpactPct)
+	}
+}
+
+func TestLPRegionNopsComparable(t *testing.T) {
+	res, err := lab.LPRegion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.C: NOPs and dependent long-latency ops are comparable for the
+	// LP region, with NOPs at least as good on this machine.
+	if res.DepOpDroopV > res.NopDroopV*1.05 {
+		t.Errorf("dependent-op LP (%.4f) should not beat NOP LP (%.4f)",
+			res.DepOpDroopV, res.NopDroopV)
+	}
+	if res.DepOpDroopV < res.NopDroopV*0.7 {
+		t.Errorf("dependent-op LP (%.4f) should be comparable to NOP LP (%.4f), not collapsed",
+			res.DepOpDroopV, res.NopDroopV)
+	}
+}
+
+func TestLoadLineInflatesDroop(t *testing.T) {
+	res, err := lab.LoadLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnDroopV <= res.OffDroopV {
+		t.Errorf("load line should inflate measured droop: on %.4f vs off %.4f",
+			res.OnDroopV, res.OffDroopV)
+	}
+	// The extra term is an IR product of the ~1 mΩ slope and tens of
+	// amps of average current: several millivolts.
+	if res.ExtraMV < 2 || res.ExtraMV > 60 {
+		t.Errorf("load-line inflation %.1f mV implausible", res.ExtraMV)
+	}
+}
+
+func TestDitherQualityDegradesGracefully(t *testing.T) {
+	res, err := lab.DitherQuality(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ApproxDroopV > res.ExactDroopV {
+		t.Errorf("δ-granular alignment (%.4f) cannot beat exact (%.4f)",
+			res.ApproxDroopV, res.ExactDroopV)
+	}
+	// δ=3 on a 36-cycle loop is a ~6% phase error: the droop loss must
+	// be modest — that is what makes the approximate algorithm usable.
+	if res.LossPct > 30 {
+		t.Errorf("δ=3 costs %.1f%% droop — too much for the approximation to be useful", res.LossPct)
+	}
+}
+
+func TestPredictorAblation(t *testing.T) {
+	res, err := lab.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GshareMispredicts >= res.StaticMispredicts {
+		t.Errorf("gshare mispredicts %d should be below static %d",
+			res.GshareMispredicts, res.StaticMispredicts)
+	}
+	// Fewer mispredict stalls → steadier activity → no larger droop.
+	if res.GshareDroopV > res.StaticDroopV*1.05 {
+		t.Errorf("gshare droop %.4f should not exceed static %.4f",
+			res.GshareDroopV, res.StaticDroopV)
+	}
+}
+
+func TestCoScheduling(t *testing.T) {
+	res, err := lab.CoSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MixedDroopV >= res.TwoFPDroopV {
+		t.Errorf("noise-aware pairing (%.4f) should droop less than two resonant threads (%.4f)",
+			res.MixedDroopV, res.TwoFPDroopV)
+	}
+}
+
+func TestOperatingPointsTrackThePhysics(t *testing.T) {
+	rows, err := lab.OperatingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		rel := (r.DetectedHz - r.FirstDroopHz) / r.FirstDroopHz
+		if rel < -0.25 || rel > 0.25 {
+			t.Errorf("%s: detected %.1f MHz vs physical %.1f MHz (off %.0f%%)",
+				r.Name, r.DetectedHz/1e6, r.FirstDroopHz/1e6, rel*100)
+		}
+	}
+	// The DVFS point keeps the PDN but slows the clock: the detected
+	// loop must shorten proportionally (same Hz, fewer cycles).
+	if !(rows[1].DetectedLoop < rows[0].DetectedLoop) {
+		t.Errorf("2.4 GHz loop (%d) should be shorter than 3.6 GHz loop (%d) in cycles",
+			rows[1].DetectedLoop, rows[0].DetectedLoop)
+	}
+	// The server board keeps the clock but moves the resonance down:
+	// the loop must lengthen.
+	if !(rows[2].DetectedLoop > rows[0].DetectedLoop) {
+		t.Errorf("server-board loop (%d) should be longer than stock (%d)",
+			rows[2].DetectedLoop, rows[0].DetectedLoop)
+	}
+}
+
+func TestHetero8TCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two GA runs")
+	}
+	res, err := lab.Hetero8T()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heterogeneous mark must at least be competitive with the
+	// homogeneous 8T mark; with the complementary seed it usually wins.
+	if res.HeteroDroopV < 0.9*res.HomoDroopV {
+		t.Errorf("hetero 8T droop %.4f well below homogeneous %.4f",
+			res.HeteroDroopV, res.HomoDroopV)
+	}
+}

@@ -1,0 +1,250 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the simulated testbed. Each experiment is a method on
+// Lab, returns structured results (so tests can assert the paper's
+// qualitative shape), and is rendered by the root benchmark harness
+// into the same rows/series the paper reports. Generated stressmarks
+// (A-Ex, A-Res, A-Res-8T, A-Res-Th, and the Phenom A-Res) are cached
+// per Lab so one AUDIT run feeds all the experiments that use it, just
+// as the paper generates each mark once and measures it everywhere.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/testbed"
+	"repro/internal/workloads"
+)
+
+// Lab bundles the two platforms, run-scale knobs and the stressmark
+// cache. The zero value is not usable; call NewLab.
+type Lab struct {
+	BD testbed.Platform // primary: Bulldozer-style
+	PH testbed.Platform // secondary: Phenom-II-style (§5.C)
+
+	// MeasureCycles/WarmupCycles are the per-measurement run lengths.
+	// Lab-scale defaults keep a full evaluation under a few minutes;
+	// the physical experiments ran for seconds-to-hours of wall clock,
+	// so all cycle counts here are scaled (see EXPERIMENTS.md).
+	MeasureCycles uint64
+	WarmupCycles  uint64
+	// FailFloor bounds voltage-at-failure searches.
+	FailFloor float64
+	// GA is the search budget for generated stressmarks.
+	GA ga.Config
+
+	mu    sync.Mutex
+	marks map[string]*core.Stressmark
+	loops map[string]int
+}
+
+// NewLab returns a lab with deterministic default settings.
+func NewLab() *Lab {
+	return &Lab{
+		BD:            testbed.Bulldozer(),
+		PH:            testbed.Phenom(),
+		MeasureCycles: 22000,
+		WarmupCycles:  3000,
+		FailFloor:     0.95,
+		GA: ga.Config{
+			PopSize:        14,
+			Elites:         2,
+			TournamentK:    3,
+			MutationProb:   0.6,
+			MaxGenerations: 14,
+			StagnantLimit:  6,
+			Seed:           1007,
+			// Fitness evaluations are independent simulator runs;
+			// results are bit-identical to a serial campaign.
+			Parallel: 4,
+		},
+		marks: map[string]*core.Stressmark{},
+		loops: map[string]int{},
+	}
+}
+
+// LoopCycles returns (and caches) the detected resonant loop length for
+// a platform, via AUDIT's sweep.
+func (l *Lab) LoopCycles(p testbed.Platform) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if v, ok := l.loops[p.Chip.Name]; ok {
+		return v, nil
+	}
+	sweep := core.ResonanceSweep{Platform: p}
+	_, best, err := sweep.Run(16, 64, 4)
+	if err != nil {
+		return 0, err
+	}
+	l.loops[p.Chip.Name] = best.LoopCycles
+	return best.LoopCycles, nil
+}
+
+// mark generates (once) a named stressmark.
+func (l *Lab) mark(key string, gen func() (*core.Stressmark, error)) (*core.Stressmark, error) {
+	l.mu.Lock()
+	if sm, ok := l.marks[key]; ok {
+		l.mu.Unlock()
+		return sm, nil
+	}
+	l.mu.Unlock()
+	sm, err := gen()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", key, err)
+	}
+	l.mu.Lock()
+	l.marks[key] = sm
+	l.mu.Unlock()
+	return sm, nil
+}
+
+// ARes is the 4T resonant AUDIT stressmark on the primary platform.
+func (l *Lab) ARes() (*core.Stressmark, error) {
+	loop, err := l.LoopCycles(l.BD)
+	if err != nil {
+		return nil, err
+	}
+	return l.mark("a-res", func() (*core.Stressmark, error) {
+		return core.Generate(core.Options{
+			Platform: l.BD, LoopCycles: loop, Threads: 4,
+			Mode: core.Resonance, GA: l.GA, Seed: 11, Name: "A-Res",
+		})
+	})
+}
+
+// AEx is the 4T excitation AUDIT stressmark.
+func (l *Lab) AEx() (*core.Stressmark, error) {
+	loop, err := l.LoopCycles(l.BD)
+	if err != nil {
+		return nil, err
+	}
+	return l.mark("a-ex", func() (*core.Stressmark, error) {
+		return core.Generate(core.Options{
+			Platform: l.BD, LoopCycles: loop, Threads: 4,
+			Mode: core.Excitation, GA: l.GA, Seed: 13, Name: "A-Ex",
+		})
+	})
+}
+
+// ARes8T is A-Res retrained with eight homogeneous threads (two per
+// module), the §5.A.2 response to the shared-FPU interference.
+func (l *Lab) ARes8T() (*core.Stressmark, error) {
+	loop, err := l.LoopCycles(l.BD)
+	if err != nil {
+		return nil, err
+	}
+	return l.mark("a-res-8t", func() (*core.Stressmark, error) {
+		return core.Generate(core.Options{
+			Platform: l.BD, LoopCycles: loop, Threads: 8,
+			Mode: core.Resonance, GA: l.GA, Seed: 17, Name: "A-Res-8T",
+		})
+	})
+}
+
+// AResTh is A-Res retrained with FPU throttling enabled (Table 2).
+func (l *Lab) AResTh() (*core.Stressmark, error) {
+	loop, err := l.LoopCycles(l.BD)
+	if err != nil {
+		return nil, err
+	}
+	return l.mark("a-res-th", func() (*core.Stressmark, error) {
+		return core.Generate(core.Options{
+			Platform: l.BD, LoopCycles: loop, Threads: 4, FPThrottle: 1,
+			Mode: core.Resonance, GA: l.GA, Seed: 19, Name: "A-Res-Th",
+		})
+	})
+}
+
+// AResPhenom is A-Res regenerated for the Phenom-style platform (§5.C):
+// new resonance sweep, FMA-less opcode list, different power profile.
+func (l *Lab) AResPhenom() (*core.Stressmark, error) {
+	loop, err := l.LoopCycles(l.PH)
+	if err != nil {
+		return nil, err
+	}
+	return l.mark("a-res-phenom", func() (*core.Stressmark, error) {
+		return core.Generate(core.Options{
+			Platform: l.PH, LoopCycles: loop, Threads: 4,
+			Mode: core.Resonance, GA: l.GA, Seed: 23, Name: "A-Res-PH",
+		})
+	})
+}
+
+// measure runs a program at the given thread count on a platform with
+// the lab's default run scale.
+func (l *Lab) measure(p testbed.Platform, prog *asm.Program, threads int, adjust func(*testbed.RunConfig)) (*testbed.Measurement, error) {
+	specs, err := testbed.SpreadPlacement(p.Chip, prog, threads)
+	if err != nil {
+		return nil, err
+	}
+	rc := testbed.RunConfig{
+		Threads:      specs,
+		MaxCycles:    l.WarmupCycles + l.MeasureCycles,
+		WarmupCycles: l.WarmupCycles,
+	}
+	if adjust != nil {
+		adjust(&rc)
+	}
+	return p.Run(rc)
+}
+
+// droop is measure() reduced to the worst droop.
+func (l *Lab) droop(p testbed.Platform, prog *asm.Program, threads int) (float64, error) {
+	m, err := l.measure(p, prog, threads, nil)
+	if err != nil {
+		return 0, err
+	}
+	return m.MaxDroopV, nil
+}
+
+// failureVoltage runs the paper's 12.5 mV-step procedure.
+func (l *Lab) failureVoltage(p testbed.Platform, prog *asm.Program, threads int, throttle int) (float64, error) {
+	specs, err := testbed.SpreadPlacement(p.Chip, prog, threads)
+	if err != nil {
+		return 0, err
+	}
+	rc := testbed.RunConfig{
+		Threads:      specs,
+		MaxCycles:    l.WarmupCycles + l.MeasureCycles,
+		WarmupCycles: l.WarmupCycles,
+		FPThrottle:   throttle,
+	}
+	v, ok, err := p.FindFailureVoltage(rc, l.FailFloor)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("experiments: %s never failed above %.3f V", prog.Name, l.FailFloor)
+	}
+	return v, nil
+}
+
+// smRef returns the 4T SM1 droop, the Fig. 9/Table 2 reference.
+func (l *Lab) smRef() (float64, error) {
+	l.mu.Lock()
+	cached, ok := l.marks["__smref"]
+	l.mu.Unlock()
+	if ok {
+		return cached.DroopV, nil
+	}
+	d, err := l.droop(l.BD, workloads.SM1(workloads.DefaultLoopCycles), 4)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.marks["__smref"] = &core.Stressmark{DroopV: d}
+	l.mu.Unlock()
+	return d, nil
+}
+
+// FailureStepV re-exports the paper's 12.5 mV failure-search decrement.
+const FailureStepV = testbed.FailureStep
+
+// resonancePeriod returns the analytic first-droop period in cycles.
+func resonancePeriod(p testbed.Platform) int {
+	return int(math.Round(p.Chip.ClockHz / p.PDN.FirstDroopNominal()))
+}

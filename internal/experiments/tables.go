@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// ---- Table 1: voltage at failure relative to A-Res (4T) ----
+
+// Table1Row is one program's failure point.
+type Table1Row struct {
+	Name string
+	// VFail is the highest supply voltage at which the 4T run fails.
+	VFail float64
+	// DeltaMV is VFail(A-Res) − VFail, in millivolts (0 for A-Res; the
+	// paper reports VF − x mV for everything else).
+	DeltaMV float64
+	// DroopV is the 4T droop at nominal supply, for the droop-vs-
+	// failure decoupling analysis.
+	DroopV float64
+}
+
+// Table1 reproduces the voltage-at-failure ordering: A-Res first, then
+// SM-Res, SM1, A-Ex, SM2, and the two droopiest standard benchmarks
+// last — with SM2 failing far above benchmarks of comparable droop.
+func (l *Lab) Table1() ([]Table1Row, error) {
+	period := workloads.DefaultLoopCycles
+	aRes, err := l.ARes()
+	if err != nil {
+		return nil, err
+	}
+	aEx, err := l.AEx()
+	if err != nil {
+		return nil, err
+	}
+	zeusmp, err := workloads.ByName("zeusmp")
+	if err != nil {
+		return nil, err
+	}
+	swaptions, err := workloads.ByName("swaptions")
+	if err != nil {
+		return nil, err
+	}
+	progs := []struct {
+		name string
+		p    *asm.Program
+	}{
+		{"A-Res", aRes.Program},
+		{"SM-Res", workloads.SMRes(period)},
+		{"SM1", workloads.SM1(period)},
+		{"A-Ex", aEx.Program},
+		{"SM2", workloads.SM2(period)},
+		{"zeusmp", zeusmp.Program},
+		{"swaptions", swaptions.Program},
+	}
+	var rows []Table1Row
+	for _, e := range progs {
+		vf, err := l.failureVoltage(l.BD, e.p, 4, 0)
+		if err != nil {
+			return nil, fmt.Errorf("table 1 %s: %w", e.name, err)
+		}
+		d, err := l.droop(l.BD, e.p, 4)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{Name: e.name, VFail: vf, DroopV: d})
+	}
+	ref := rows[0].VFail
+	for i := range rows {
+		rows[i].DeltaMV = (ref - rows[i].VFail) * 1e3
+	}
+	return rows, nil
+}
+
+// ---- Table 2: impact of FPU throttling ----
+
+// Table2Row is one stressmark × throttle setting.
+type Table2Row struct {
+	Name      string
+	Throttled bool
+	// RelDroop is relative to unthrottled 4T SM1.
+	RelDroop float64
+	DroopV   float64
+	VFail    float64
+}
+
+// Table2 measures SM1, A-Res and SM-Res with FPU throttling off and on,
+// plus A-Res-Th — the mark AUDIT regenerates with throttling enabled.
+func (l *Lab) Table2() ([]Table2Row, error) {
+	period := workloads.DefaultLoopCycles
+	ref, err := l.smRef()
+	if err != nil {
+		return nil, err
+	}
+	aRes, err := l.ARes()
+	if err != nil {
+		return nil, err
+	}
+	aResTh, err := l.AResTh()
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		name     string
+		p        *asm.Program
+		throttle bool
+	}
+	entries := []entry{
+		{"SM1", workloads.SM1(period), false},
+		{"A-Res", aRes.Program, false},
+		{"SM-Res", workloads.SMRes(period), false},
+		{"SM1", workloads.SM1(period), true},
+		{"A-Res", aRes.Program, true},
+		{"SM-Res", workloads.SMRes(period), true},
+		{"A-Res-Th", aResTh.Program, true},
+	}
+	var rows []Table2Row
+	for _, e := range entries {
+		throttle := 0
+		if e.throttle {
+			throttle = 1
+		}
+		m, err := l.measure(l.BD, e.p, 4, func(rc *testbed.RunConfig) { rc.FPThrottle = throttle })
+		if err != nil {
+			return nil, fmt.Errorf("table 2 %s: %w", e.name, err)
+		}
+		vf, err := l.failureVoltage(l.BD, e.p, 4, throttle)
+		if err != nil {
+			return nil, fmt.Errorf("table 2 %s failure: %w", e.name, err)
+		}
+		rows = append(rows, Table2Row{
+			Name:      e.name,
+			Throttled: e.throttle,
+			RelDroop:  m.MaxDroopV / ref,
+			DroopV:    m.MaxDroopV,
+			VFail:     vf,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Table 3: the Phenom-style processor ----
+
+// Table3Row is one program on the secondary platform.
+type Table3Row struct {
+	Name string
+	// RelDroop is relative to SM2 on the same platform.
+	RelDroop float64
+	DroopV   float64
+	VFail    float64
+	// Incompatible marks programs the chip cannot run (SM1's FMA).
+	Incompatible bool
+}
+
+// Table3 swaps in the Phenom-style processor, regenerates A-Res, and
+// compares against SM2 and zeusmp. SM1 is reported incompatible, as in
+// §5.C.
+func (l *Lab) Table3() ([]Table3Row, error) {
+	period := resonancePeriod(l.PH)
+	aResPh, err := l.AResPhenom()
+	if err != nil {
+		return nil, err
+	}
+	zeusmp, err := workloads.ByName("zeusmp")
+	if err != nil {
+		return nil, err
+	}
+	sm2 := workloads.SM2(period)
+	progs := []struct {
+		name string
+		p    *asm.Program
+	}{
+		{"zeusmp", zeusmp.Program},
+		{"SM2", sm2},
+		{"A-Res", aResPh.Program},
+		{"SM1", workloads.SM1(period)},
+	}
+	var rows []Table3Row
+	var sm2Droop float64
+	for _, e := range progs {
+		if workloads.UsesFMA(e.p) && !l.PH.Chip.HasFMA {
+			rows = append(rows, Table3Row{Name: e.name, Incompatible: true})
+			continue
+		}
+		m, err := l.measure(l.PH, e.p, 4, nil)
+		if err != nil {
+			return nil, fmt.Errorf("table 3 %s: %w", e.name, err)
+		}
+		vf, err := l.failureVoltage(l.PH, e.p, 4, 0)
+		if err != nil {
+			return nil, fmt.Errorf("table 3 %s failure: %w", e.name, err)
+		}
+		row := Table3Row{Name: e.name, DroopV: m.MaxDroopV, VFail: vf}
+		if e.name == "SM2" {
+			sm2Droop = m.MaxDroopV
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if sm2Droop > 0 && !rows[i].Incompatible {
+			rows[i].RelDroop = rows[i].DroopV / sm2Droop
+		}
+	}
+	return rows, nil
+}
+
+// ---- §3.B: dithering search cost ----
+
+// DitherCostRow is one configuration's alignment-sweep cost.
+type DitherCostRow struct {
+	Cores   int
+	Delta   int // 0 = exact
+	Seconds float64
+}
+
+// DitherCost reproduces the §3.B cost analysis at the paper's operating
+// point (4 GHz, L+H = 24, M = 960): 4-core exact 3.3 ms, 8-core exact
+// 18.35 min, 8-core δ=3 approximate 67 ms.
+func (l *Lab) DitherCost() []DitherCostRow {
+	const clock = 4e9
+	return []DitherCostRow{
+		{Cores: 2, Delta: 0, Seconds: core.ExactSweepCycles(2, 24, 960) / clock},
+		{Cores: 4, Delta: 0, Seconds: core.ExactSweepCycles(4, 24, 960) / clock},
+		{Cores: 8, Delta: 0, Seconds: core.ExactSweepCycles(8, 24, 960) / clock},
+		{Cores: 8, Delta: 3, Seconds: core.ApproxSweepCycles(8, 24, 960, 3) / clock},
+	}
+}
+
+// DitherDemoResult is the executed (scaled) dithering demonstration.
+type DitherDemoResult struct {
+	AlignedDroopV    float64
+	MisalignedDroopV float64
+	DitheredDroopV   float64
+}
+
+// DitherDemo shows, on the live testbed, that (a) anti-phase threads
+// droop much less than aligned ones, and (b) the dithering schedule
+// recovers worst-case alignment from an arbitrary skew.
+func (l *Lab) DitherDemo() (*DitherDemoResult, error) {
+	period := resonancePeriod(l.BD)
+	prog := workloads.SMRes(period)
+	out := &DitherDemoResult{}
+
+	m, err := l.measure(l.BD, prog, 4, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.AlignedDroopV = m.MaxDroopV
+
+	skew := func(rc *testbed.RunConfig) {
+		for i := range rc.Threads {
+			if i%2 == 1 {
+				rc.Threads[i].StartSkew = uint64(period / 2)
+			}
+		}
+	}
+	m, err = l.measure(l.BD, prog, 4, skew)
+	if err != nil {
+		return nil, err
+	}
+	out.MisalignedDroopV = m.MaxDroopV
+
+	// Dither the two skewed threads: M scaled down so the sweep fits in
+	// a short run (documented scaling; the algorithm is unchanged).
+	mCycles := 6 * period
+	m, err = l.measure(l.BD, prog, 4, func(rc *testbed.RunConfig) {
+		skew(rc)
+		rc.MaxCycles = uint64(mCycles*period) + 30000
+		rc.Dither = []testbed.DitherSpec{
+			{Core: rc.Threads[1].GlobalCore(l.BD.Chip), PeriodCycles: uint64(mCycles), PadCycles: 1},
+			{Core: rc.Threads[3].GlobalCore(l.BD.Chip), PeriodCycles: uint64(mCycles), PadCycles: 1},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.DitheredDroopV = m.MaxDroopV
+	return out, nil
+}
+
+// ---- §3.C: hierarchical sub-blocking vs flat generation ----
+
+// HierFlatResult compares the two genome layouts at equal evaluation
+// budget.
+type HierFlatResult struct {
+	HierDroopV     float64
+	FlatDroopV     float64
+	HierEvals      int
+	FlatEvals      int
+	ImprovementPct float64
+}
+
+// HierarchicalVsFlat runs AUDIT twice with the same GA budget: once
+// with K=6 sub-blocks (hierarchical) and once with a flat genome the
+// full HP-region long. The paper saw sub-blocking converge to a 19%
+// higher droop in a sixth of the time.
+func (l *Lab) HierarchicalVsFlat() (*HierFlatResult, error) {
+	loop, err := l.LoopCycles(l.BD)
+	if err != nil {
+		return nil, err
+	}
+	gacfg := l.GA
+	gacfg.StagnantLimit = 0 // equal budgets: run all generations
+	hier, err := core.Generate(core.Options{
+		Platform: l.BD, LoopCycles: loop, Threads: 4,
+		SubBlockCycles: 6, GA: gacfg, Seed: 31, Name: "hier", NoSeed: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	flat, err := core.Generate(core.Options{
+		Platform: l.BD, LoopCycles: loop, Threads: 4,
+		SubBlockCycles: loop / 2, GA: gacfg, Seed: 31, Name: "flat", NoSeed: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &HierFlatResult{
+		HierDroopV: hier.DroopV,
+		FlatDroopV: flat.DroopV,
+		HierEvals:  hier.Search.Evaluations,
+		FlatEvals:  flat.Search.Evaluations,
+	}
+	if flat.DroopV > 0 {
+		res.ImprovementPct = (hier.DroopV/flat.DroopV - 1) * 100
+	}
+	return res, nil
+}
+
+// ---- §5.A.5: the NOP ablation ----
+
+// NOPAblationResult compares A-Res against its NOP→ADD variant.
+type NOPAblationResult struct {
+	NopSlots       int
+	OriginalDroopV float64
+	ModifiedDroopV float64
+	// Frequencies of the dominant first-droop component in each run's
+	// waveform: the modified loop runs longer, so its di/dt pattern
+	// shifts below the resonance.
+	OriginalFreqHz float64
+	ModifiedFreqHz float64
+}
+
+// NOPAblation replaces the NOPs in A-Res's high-power region with
+// independent integer ADDs and re-measures, reproducing the §5.A.5
+// analysis: the ADD version droops less and its frequency shifts low.
+func (l *Lab) NOPAblation() (*NOPAblationResult, error) {
+	aRes, err := l.ARes()
+	if err != nil {
+		return nil, err
+	}
+	nops := core.CountNopSlots(aRes.Genome)
+	if nops == 0 {
+		return nil, fmt.Errorf("experiments: A-Res genome has no NOP slots to ablate")
+	}
+	modGenome, err := aRes.Gen.ReplaceNopSlots(aRes.Genome, "add")
+	if err != nil {
+		return nil, err
+	}
+	modProg, err := aRes.Gen.Build("A-Res-adds", modGenome)
+	if err != nil {
+		return nil, err
+	}
+	out := &NOPAblationResult{NopSlots: nops}
+	fRes := l.BD.PDN.FirstDroopNominal()
+	for i, p := range []*asm.Program{aRes.Program, modProg} {
+		m, err := l.measure(l.BD, p, 4, func(rc *testbed.RunConfig) { rc.RecordWaveform = true })
+		if err != nil {
+			return nil, err
+		}
+		f, err := trace.DominantFrequencyInBand(m.Waveform, l.BD.Chip.ClockHz, fRes/4, fRes*2)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			out.OriginalDroopV, out.OriginalFreqHz = m.MaxDroopV, f
+		} else {
+			out.ModifiedDroopV, out.ModifiedFreqHz = m.MaxDroopV, f
+		}
+	}
+	return out, nil
+}
+
+// ---- §5.A.1: the barrier stressmark ----
+
+// BarrierResult compares the barrier-synchronised virus against the
+// same pattern with perfectly aligned starts and no barrier.
+type BarrierResult struct {
+	// BarrierDroopV: virus bursts launched by barrier releases (skewed
+	// by the memory hierarchy).
+	BarrierDroopV float64
+	// AlignedDroopV: the same bursts with ideal alignment.
+	AlignedDroopV float64
+}
+
+// Barrier reproduces the finding that the barrier stressmark's droop
+// "was not significant": release skew perturbs the burst onsets enough
+// to dampen the excitation.
+func (l *Lab) Barrier() (*BarrierResult, error) {
+	period := resonancePeriod(l.BD)
+	out := &BarrierResult{}
+	m, err := l.measure(l.BD, workloads.BarrierVirus(period), 4, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.BarrierDroopV = m.MaxDroopV
+	m, err = l.measure(l.BD, alignedVirus(period), 4, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.AlignedDroopV = m.MaxDroopV
+	return out, nil
+}
+
+// alignedVirus is the barrier virus's burst pattern (2 periods of FMA
+// burst, 1 period idle) without the synchronisation, so the simulator's
+// lockstep start keeps the bursts perfectly aligned across cores.
+func alignedVirus(period int) *asm.Program {
+	b := asm.NewBuilder("aligned-virus")
+	b.SetMem(4096)
+	b.InitToggle(16, 8)
+	b.RI("movimm", isa.RCX, 1<<40)
+	b.Label("loop")
+	for i := 0; i < 2*period; i++ {
+		b.RRR("vfmadd132pd", isa.XMM(i%12), isa.XMM(12+i%2), isa.XMM(14+i%2))
+		b.RRR("vfmadd132pd", isa.XMM((i+6)%12), isa.XMM(13-i%2), isa.XMM(15-i%2))
+		b.Nop(2)
+	}
+	b.Nop(1 * period)
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	return b.MustBuild()
+}

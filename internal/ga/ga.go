@@ -1,0 +1,247 @@
+// Package ga is the genetic-algorithm engine at the heart of AUDIT's
+// search (Fig. 5): a population of candidate stressmarks is evaluated
+// against a cost function (measured voltage droop), and tournament
+// selection, crossover and mutation refine it until the exit condition
+// — no improvement for several generations — is met. The engine is
+// generic so the same machinery drives flat opcode-sequence genomes,
+// hierarchical sub-block genomes (§3.C) and test toys alike.
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Ops supplies the genome-specific operators.
+type Ops[G any] struct {
+	// Random creates a new random genome.
+	Random func(rng *rand.Rand) G
+	// Crossover combines two parents into a child.
+	Crossover func(rng *rand.Rand, a, b G) G
+	// Mutate returns a (possibly) modified copy of g.
+	Mutate func(rng *rand.Rand, g G) G
+}
+
+// Config controls the search.
+type Config struct {
+	// PopSize is the population size.
+	PopSize int
+	// Elites survive unchanged each generation.
+	Elites int
+	// TournamentK is the tournament size for parent selection.
+	TournamentK int
+	// MutationProb is the probability a child is mutated.
+	MutationProb float64
+	// MaxGenerations bounds the run.
+	MaxGenerations int
+	// Parallel evaluates fitness with this many concurrent workers
+	// (0 or 1 = serial). Results are identical to a serial run: genome
+	// creation stays sequential on the seeded RNG, and only the
+	// independent fitness calls fan out — safe because every AUDIT
+	// evaluation builds its own simulator instance.
+	Parallel int
+	// StagnantLimit exits early when the best fitness has not improved
+	// for this many consecutive generations (the paper's exit
+	// condition: "the maximum voltage droop produced by AUDIT does not
+	// increase for several generations"). 0 disables the early exit.
+	StagnantLimit int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.PopSize < 2:
+		return fmt.Errorf("ga: population must be ≥ 2")
+	case c.Elites < 0 || c.Elites >= c.PopSize:
+		return fmt.Errorf("ga: elites must be in [0, pop)")
+	case c.TournamentK < 1 || c.TournamentK > c.PopSize:
+		return fmt.Errorf("ga: tournament size must be in [1, pop]")
+	case c.MutationProb < 0 || c.MutationProb > 1:
+		return fmt.Errorf("ga: mutation probability outside [0,1]")
+	case c.MaxGenerations < 1:
+		return fmt.Errorf("ga: need at least one generation")
+	case c.StagnantLimit < 0:
+		return fmt.Errorf("ga: negative stagnant limit")
+	case c.Parallel < 0:
+		return fmt.Errorf("ga: negative parallelism")
+	}
+	return nil
+}
+
+// Result reports the best genome found and the search's trajectory.
+type Result[G any] struct {
+	Best        G
+	BestFitness float64
+	// Population is the final population, best first — reusable as the
+	// seeds of a follow-up run (checkpoint/resume).
+	Population []G
+	// Fitnesses holds the final population's scores, aligned with
+	// Population.
+	Fitnesses []float64
+	// Generations actually executed.
+	Generations int
+	// Evaluations is the number of fitness calls (the budget measure
+	// used when comparing hierarchical vs flat generation, §3.C).
+	Evaluations int
+	// History holds the best fitness after each generation.
+	History []float64
+}
+
+type scored[G any] struct {
+	g   G
+	fit float64
+}
+
+// Run maximises eval over genomes. seeds, if any, are injected into the
+// initial population (the paper: "the initial population ... can be
+// generated randomly or seeded with existing benchmarks or stressmarks
+// to improve the convergence rate").
+func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)) (*Result[G], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ops.Random == nil || ops.Crossover == nil || ops.Mutate == nil {
+		return nil, fmt.Errorf("ga: all three operators are required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &Result[G]{}
+	initial := make([]G, cfg.PopSize)
+	for i := range initial {
+		if i < len(seeds) {
+			initial[i] = seeds[i]
+		} else {
+			initial[i] = ops.Random(rng)
+		}
+	}
+	fits, err := evalBatch(initial, eval, cfg.Parallel)
+	if err != nil {
+		return nil, fmt.Errorf("ga: evaluating initial population: %w", err)
+	}
+	res.Evaluations += len(initial)
+	pop := make([]scored[G], cfg.PopSize)
+	for i := range pop {
+		pop[i] = scored[G]{g: initial[i], fit: fits[i]}
+	}
+	sortPop(pop)
+	res.Best, res.BestFitness = pop[0].g, pop[0].fit
+
+	stagnant := 0
+	for gen := 0; gen < cfg.MaxGenerations; gen++ {
+		next := make([]scored[G], 0, cfg.PopSize)
+		next = append(next, pop[:cfg.Elites]...)
+		children := make([]G, 0, cfg.PopSize-cfg.Elites)
+		for len(next)+len(children) < cfg.PopSize {
+			a := tournament(rng, pop, cfg.TournamentK)
+			b := tournament(rng, pop, cfg.TournamentK)
+			child := ops.Crossover(rng, a.g, b.g)
+			if rng.Float64() < cfg.MutationProb {
+				child = ops.Mutate(rng, child)
+			}
+			children = append(children, child)
+		}
+		fits, err := evalBatch(children, eval, cfg.Parallel)
+		if err != nil {
+			return nil, fmt.Errorf("ga: evaluating generation %d: %w", gen, err)
+		}
+		res.Evaluations += len(children)
+		for i, child := range children {
+			next = append(next, scored[G]{g: child, fit: fits[i]})
+		}
+		pop = next
+		sortPop(pop)
+		res.Generations = gen + 1
+		if pop[0].fit > res.BestFitness {
+			res.Best, res.BestFitness = pop[0].g, pop[0].fit
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+		res.History = append(res.History, res.BestFitness)
+		if cfg.StagnantLimit > 0 && stagnant >= cfg.StagnantLimit {
+			break
+		}
+	}
+	for _, s := range pop {
+		res.Population = append(res.Population, s.g)
+		res.Fitnesses = append(res.Fitnesses, s.fit)
+	}
+	return res, nil
+}
+
+// evalBatch scores a batch of genomes, fanning out across workers when
+// parallelism is enabled. The first error aborts the batch.
+func evalBatch[G any](gs []G, eval func(G) (float64, error), workers int) ([]float64, error) {
+	fits := make([]float64, len(gs))
+	if workers <= 1 || len(gs) < 2 {
+		for i, g := range gs {
+			fit, err := eval(g)
+			if err != nil {
+				return nil, err
+			}
+			fits[i] = fit
+		}
+		return fits, nil
+	}
+	if workers > len(gs) {
+		workers = len(gs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fit, err := eval(gs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				fits[i] = fit
+			}
+		}()
+	}
+	for i := range gs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return fits, nil
+}
+
+func tournament[G any](rng *rand.Rand, pop []scored[G], k int) scored[G] {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fit > best.fit {
+			best = c
+		}
+	}
+	return best
+}
+
+// sortPop orders by descending fitness (stable insertion sort: the
+// populations are small and this avoids pulling in sort for a hot path
+// that profiles flat anyway).
+func sortPop[G any](pop []scored[G]) {
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].fit > pop[j-1].fit; j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}

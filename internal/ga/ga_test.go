@@ -1,0 +1,235 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitstring toy genome: maximise the number of ones.
+type bits []bool
+
+func bitOps(n int) Ops[bits] {
+	return Ops[bits]{
+		Random: func(rng *rand.Rand) bits {
+			g := make(bits, n)
+			for i := range g {
+				g[i] = rng.Intn(2) == 1
+			}
+			return g
+		},
+		Crossover: func(rng *rand.Rand, a, b bits) bits {
+			cut := rng.Intn(n)
+			child := make(bits, n)
+			copy(child, a[:cut])
+			copy(child[cut:], b[cut:])
+			return child
+		},
+		Mutate: func(rng *rand.Rand, g bits) bits {
+			out := make(bits, n)
+			copy(out, g)
+			out[rng.Intn(n)] = !out[rng.Intn(n)]
+			return out
+		},
+	}
+}
+
+func onemax(g bits) (float64, error) {
+	s := 0.0
+	for _, b := range g {
+		if b {
+			s++
+		}
+	}
+	return s, nil
+}
+
+func defaultCfg() Config {
+	return Config{
+		PopSize:        30,
+		Elites:         2,
+		TournamentK:    3,
+		MutationProb:   0.4,
+		MaxGenerations: 80,
+		StagnantLimit:  0,
+		Seed:           1,
+	}
+}
+
+func TestConvergesOnOnemax(t *testing.T) {
+	n := 32
+	res, err := Run(defaultCfg(), bitOps(n), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < float64(n)-2 {
+		t.Errorf("best fitness %v after %d generations, want ≈ %d",
+			res.BestFitness, res.Generations, n)
+	}
+	if res.Evaluations < res.Generations {
+		t.Error("evaluation count not tracked")
+	}
+}
+
+func TestHistoryMonotone(t *testing.T) {
+	res, err := Run(defaultCfg(), bitOps(24), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("best-so-far history decreased at %d: %v", i, res.History)
+		}
+	}
+}
+
+func TestSeedsEnterPopulation(t *testing.T) {
+	n := 16
+	perfect := make(bits, n)
+	for i := range perfect {
+		perfect[i] = true
+	}
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 1
+	res, err := Run(cfg, bitOps(n), []bits{perfect}, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != float64(n) {
+		t.Errorf("seeded optimum not found: %v", res.BestFitness)
+	}
+}
+
+func TestStagnationExit(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.StagnantLimit = 3
+	cfg.MaxGenerations = 1000
+	// Constant fitness: should stop after exactly StagnantLimit gens.
+	res, err := Run(cfg, bitOps(8), nil, func(bits) (float64, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 3 {
+		t.Errorf("stagnation exit after %d generations, want 3", res.Generations)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, err := Run(defaultCfg(), bitOps(20), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(defaultCfg(), bitOps(20), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness || a.Generations != b.Generations || a.Evaluations != b.Evaluations {
+		t.Error("same seed, different trajectories")
+	}
+	cfg := defaultCfg()
+	cfg.Seed = 99
+	c, err := Run(cfg, bitOps(20), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Evaluations == a.Evaluations && c.BestFitness == a.BestFitness && len(c.History) == len(a.History) {
+		same := true
+		for i := range c.History {
+			if c.History[i] != a.History[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical histories")
+		}
+	}
+}
+
+func TestElitismPreservesBest(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MutationProb = 1.0 // heavy churn
+	res, err := Run(cfg, bitOps(16), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	if last != res.BestFitness {
+		t.Errorf("final history %v != best %v", last, res.BestFitness)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PopSize: 1, Elites: 0, TournamentK: 1, MaxGenerations: 1},
+		{PopSize: 10, Elites: 10, TournamentK: 1, MaxGenerations: 1},
+		{PopSize: 10, Elites: 0, TournamentK: 0, MaxGenerations: 1},
+		{PopSize: 10, Elites: 0, TournamentK: 11, MaxGenerations: 1},
+		{PopSize: 10, Elites: 0, TournamentK: 2, MutationProb: 1.5, MaxGenerations: 1},
+		{PopSize: 10, Elites: 0, TournamentK: 2, MaxGenerations: 0},
+		{PopSize: 10, Elites: 0, TournamentK: 2, MaxGenerations: 1, StagnantLimit: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := Run(defaultCfg(), Ops[bits]{}, nil, onemax); err == nil {
+		t.Error("missing operators accepted")
+	}
+}
+
+func TestEvalErrorPropagates(t *testing.T) {
+	_, err := Run(defaultCfg(), bitOps(8), nil, func(bits) (float64, error) {
+		return 0, errTest
+	})
+	if err == nil {
+		t.Error("eval error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) *Result[bits] {
+		cfg := defaultCfg()
+		cfg.Parallel = workers
+		res, err := Run(cfg, bitOps(24), nil, onemax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(0)
+	parallel := run(4)
+	if serial.BestFitness != parallel.BestFitness ||
+		serial.Evaluations != parallel.Evaluations ||
+		serial.Generations != parallel.Generations {
+		t.Errorf("parallel run diverged: serial %+v vs parallel best %.0f evals %d",
+			serial.BestFitness, parallel.BestFitness, parallel.Evaluations)
+	}
+	for i := range serial.History {
+		if serial.History[i] != parallel.History[i] {
+			t.Fatalf("history diverged at generation %d", i)
+		}
+	}
+}
+
+func TestParallelPropagatesErrors(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Parallel = 4
+	_, err := Run(cfg, bitOps(8), nil, func(bits) (float64, error) { return 0, errTest })
+	if err == nil {
+		t.Error("parallel eval error swallowed")
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Parallel = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}

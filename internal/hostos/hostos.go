@@ -1,0 +1,101 @@
+// Package hostos models operating-system interference with running
+// threads: the periodic timer tick (≈16 ms on the paper's Windows 7
+// system) plus scheduling jitter. Each tick steals a burst of cycles
+// from one core, shifting that thread's phase relative to the others —
+// the source of the "natural dithering" of Fig. 6, where thread
+// alignment drifts in and out every OS tick and the voltage-droop
+// envelope visibly changes at tick boundaries.
+package hostos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cpu"
+)
+
+// Scheduler injects tick interference into a chip. All times are in
+// CPU cycles so experiments can scale the tick period down from the
+// physical 16 ms (≈58 M cycles at 3.6 GHz) to something simulable while
+// preserving the period ≫ loop-length separation that produces the
+// effect.
+type Scheduler struct {
+	// TickPeriod is the nominal cycle count between ticks on one core.
+	TickPeriod uint64
+	// TickDuration is the cycle cost of servicing one tick.
+	TickDuration uint64
+	// Jitter is the maximum extra random delay added to each tick's
+	// arrival and duration.
+	Jitter uint64
+
+	rng      *rand.Rand
+	nextTick []uint64
+	ticks    uint64
+}
+
+// New builds a scheduler for nCores cores. The seed makes interference
+// reproducible.
+func New(nCores int, tickPeriod, tickDuration, jitter uint64, seed int64) (*Scheduler, error) {
+	if nCores < 1 {
+		return nil, fmt.Errorf("hostos: need at least one core")
+	}
+	if tickPeriod == 0 {
+		return nil, fmt.Errorf("hostos: tick period must be positive")
+	}
+	s := &Scheduler{
+		TickPeriod:   tickPeriod,
+		TickDuration: tickDuration,
+		Jitter:       jitter,
+		rng:          rand.New(rand.NewSource(seed)),
+		nextTick:     make([]uint64, nCores),
+	}
+	// Cores take their first tick at staggered offsets, as the OS
+	// services them in turn.
+	for c := range s.nextTick {
+		s.nextTick[c] = tickPeriod/uint64(nCores)*uint64(c) + s.randJitter()
+	}
+	return s, nil
+}
+
+func (s *Scheduler) randJitter() uint64 {
+	if s.Jitter == 0 {
+		return 0
+	}
+	return uint64(s.rng.Int63n(int64(s.Jitter) + 1))
+}
+
+// Apply must be called once per chip cycle (before or after Step); it
+// injects decode stalls into cores whose tick is due.
+func (s *Scheduler) Apply(ch *cpu.Chip) error {
+	now := ch.Cycle()
+	for c := range s.nextTick {
+		if now >= s.nextTick[c] {
+			dur := s.TickDuration + s.randJitter()
+			if err := ch.InjectStall(c, dur); err != nil {
+				return err
+			}
+			s.nextTick[c] = now + s.TickPeriod + s.randJitter()
+			s.ticks++
+		}
+	}
+	return nil
+}
+
+// Ticks returns how many ticks have been delivered.
+func (s *Scheduler) Ticks() uint64 { return s.ticks }
+
+// StartSkews returns per-core random initial phase offsets in
+// [0, maxSkew] cycles: the OS never releases all threads of a program
+// on the same cycle, which is why a deterministic dither sweep — not
+// luck — is needed to find worst-case alignment.
+func StartSkews(nCores int, maxSkew uint64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, nCores)
+	if maxSkew == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = uint64(rng.Int63n(int64(maxSkew) + 1))
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package hostos
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/uarch"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 100, 10, 0, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := New(4, 0, 10, 0, 1); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func infiniteLoop() *asm.Program {
+	b := asm.NewBuilder("spin")
+	b.RI("movimm", isa.RCX, 1<<40)
+	b.Label("loop")
+	b.Nop(4)
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	return b.MustBuild()
+}
+
+func TestTicksPerturbProgress(t *testing.T) {
+	cfg := uarch.Bulldozer()
+	run := func(withOS bool) [4]uint64 {
+		ch, err := cpu.NewChip(cfg, power.BulldozerModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < 4; m++ {
+			th, _ := cpu.NewThread(infiniteLoop(), 0)
+			if err := ch.Attach(m, 0, th); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sched *Scheduler
+		if withOS {
+			sched, err = New(8, 3000, 400, 150, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 30000; i++ {
+			if sched != nil {
+				if err := sched.Apply(ch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ch.Step()
+		}
+		var prog [4]uint64
+		for m := 0; m < 4; m++ {
+			prog[m] = ch.CoreRetired(m * cfg.CoresPerModule)
+		}
+		if sched != nil && sched.Ticks() == 0 {
+			t.Fatal("no ticks delivered")
+		}
+		return prog
+	}
+	clean := run(false)
+	noisy := run(true)
+	// Without OS noise the four identical threads march in lockstep.
+	for m := 1; m < 4; m++ {
+		if clean[m] != clean[0] {
+			t.Errorf("clean threads diverged: %v", clean)
+		}
+	}
+	// With ticks, phases drift apart — at least one pair differs.
+	same := true
+	for m := 1; m < 4; m++ {
+		if noisy[m] != noisy[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("OS ticks failed to perturb thread phases: %v", noisy)
+	}
+	// And overall progress is reduced.
+	if noisy[0] >= clean[0] {
+		t.Errorf("ticks should cost cycles: %d vs %d", noisy[0], clean[0])
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, _ := New(4, 1000, 100, 50, 7)
+	b, _ := New(4, 1000, 100, 50, 7)
+	for i := range a.nextTick {
+		if a.nextTick[i] != b.nextTick[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+	c, _ := New(4, 1000, 100, 50, 8)
+	diff := false
+	for i := range a.nextTick {
+		if a.nextTick[i] != c.nextTick[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestStartSkews(t *testing.T) {
+	s := StartSkews(8, 100, 1)
+	if len(s) != 8 {
+		t.Fatalf("len = %d", len(s))
+	}
+	allZero := true
+	for _, v := range s {
+		if v > 100 {
+			t.Errorf("skew %d exceeds max", v)
+		}
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("all skews zero with maxSkew=100")
+	}
+	for i, v := range StartSkews(4, 0, 1) {
+		if v != 0 {
+			t.Errorf("maxSkew=0 gave skew[%d]=%d", i, v)
+		}
+	}
+	// Determinism.
+	a := StartSkews(8, 1000, 5)
+	b := StartSkews(8, 1000, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("StartSkews not deterministic")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package isa
+
+// Class is the broad behavioural category of an instruction. The
+// simulator's schedulers, the power model and AUDIT's code generator all
+// dispatch on it.
+type Class uint8
+
+const (
+	// ClassNOP consumes fetch/decode bandwidth but no back-end
+	// resources — no scheduler entry, no physical register, no result
+	// bus. This matches the paper's observation (§5.A.5) that NOPs are
+	// designed to be very low power on the experimental processor.
+	ClassNOP Class = iota
+	// ClassIntALU is a single-cycle integer ALU operation.
+	ClassIntALU
+	// ClassIntMul is a pipelined integer multiply.
+	ClassIntMul
+	// ClassIntDiv is a long-latency, unpipelined integer divide.
+	ClassIntDiv
+	// ClassLEA is an address-generation arithmetic op (AGU-bound).
+	ClassLEA
+	// ClassFPAdd is a floating-point add/sub (scalar or packed).
+	ClassFPAdd
+	// ClassFPMul is a floating-point multiply.
+	ClassFPMul
+	// ClassFMA is a fused multiply-add, the highest-power FP op.
+	ClassFMA
+	// ClassFPDiv is a long-latency FP divide.
+	ClassFPDiv
+	// ClassSIMDInt is a packed-integer SIMD operation.
+	ClassSIMDInt
+	// ClassLoad reads memory into a register.
+	ClassLoad
+	// ClassStore writes a register to memory.
+	ClassStore
+	// ClassBranch is a conditional or unconditional branch.
+	ClassBranch
+	// ClassMove is a register-to-register move (or immediate load).
+	ClassMove
+	// ClassBarrier is a synthetic thread-synchronisation primitive used
+	// by the multi-threaded workloads (PARSEC-style barriers and the
+	// barrier stressmark of §5.A.1). Real code uses locked RMW + spin;
+	// the simulator models the rendezvous plus memory-hierarchy release
+	// skew directly.
+	ClassBarrier
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"NOP", "IntALU", "IntMul", "IntDiv", "LEA",
+	"FPAdd", "FPMul", "FMA", "FPDiv", "SIMDInt",
+	"Load", "Store", "Branch", "Move", "Barrier",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "Class(?)"
+}
+
+// IsFP reports whether the class executes in the floating-point/SIMD
+// cluster (the unit shared between sibling threads in a Bulldozer-style
+// module, and the unit FPU throttling limits).
+func (c Class) IsFP() bool {
+	switch c {
+	case ClassFPAdd, ClassFPMul, ClassFMA, ClassFPDiv, ClassSIMDInt:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the class occupies the load/store unit.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// Unit identifies a back-end execution resource for scheduling and for
+// per-unit activity/power accounting.
+type Unit uint8
+
+const (
+	// UnitNone: the instruction uses no execution unit (NOP).
+	UnitNone Unit = iota
+	// UnitALU: integer ALU pipes.
+	UnitALU
+	// UnitAGU: address-generation pipes (also LEA).
+	UnitAGU
+	// UnitIMul: the integer multiplier.
+	UnitIMul
+	// UnitIDiv: the integer divider (unpipelined).
+	UnitIDiv
+	// UnitFPU: the shared floating-point/SIMD pipes.
+	UnitFPU
+	// UnitLSU: load/store unit and L1D port.
+	UnitLSU
+	// UnitBranch: branch-execution pipe.
+	UnitBranch
+
+	// NumUnits is the number of distinct execution-unit kinds.
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"none", "ALU", "AGU", "IMul", "IDiv", "FPU", "LSU", "Branch",
+}
+
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return "Unit(?)"
+}

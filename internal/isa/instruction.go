@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one decoded instruction. Operand slots beyond what the
+// opcode's shape uses are left as zero values.
+type Instruction struct {
+	Op *Opcode
+	// Dst is the destination register (also read when Op.DstIsSrc).
+	Dst Reg
+	// Src1, Src2 are register sources.
+	Src1, Src2 Reg
+	// Imm is the immediate for ShapeRI and the barrier id for
+	// ShapeBarrier.
+	Imm int64
+	// MemBase and MemDisp form the address [MemBase+MemDisp] for loads,
+	// stores and lea.
+	MemBase Reg
+	MemDisp int32
+	// Target is the branch-target instruction index within the program
+	// (resolved by the assembler from a label).
+	Target int
+	// Label is the symbolic branch target, kept for round-tripping.
+	Label string
+}
+
+// Valid checks structural consistency against the opcode's shape.
+func (in *Instruction) Valid() error {
+	if in.Op == nil {
+		return fmt.Errorf("isa: instruction with nil opcode")
+	}
+	need := func(r Reg, what string, kind RegKind) error {
+		if !r.Valid() {
+			return fmt.Errorf("isa: %s: missing %s operand", in.Op.Name, what)
+		}
+		if kind != RegNone && r.Kind != kind {
+			return fmt.Errorf("isa: %s: %s operand %s has wrong register kind", in.Op.Name, what, r)
+		}
+		return nil
+	}
+	switch in.Op.Shape {
+	case ShapeNone, ShapeBarrier:
+		return nil
+	case ShapeRR:
+		if err := need(in.Dst, "dst", in.Op.RegKind); err != nil {
+			return err
+		}
+		return need(in.Src1, "src", in.Op.RegKind)
+	case ShapeRRR:
+		if err := need(in.Dst, "dst", in.Op.RegKind); err != nil {
+			return err
+		}
+		if err := need(in.Src1, "src1", in.Op.RegKind); err != nil {
+			return err
+		}
+		return need(in.Src2, "src2", in.Op.RegKind)
+	case ShapeRI:
+		return need(in.Dst, "dst", in.Op.RegKind)
+	case ShapeLoad:
+		if err := need(in.Dst, "dst", in.Op.RegKind); err != nil {
+			return err
+		}
+		return need(in.MemBase, "base", RegGPR)
+	case ShapeStore:
+		if err := need(in.Src1, "src", in.Op.RegKind); err != nil {
+			return err
+		}
+		return need(in.MemBase, "base", RegGPR)
+	case ShapeBranch:
+		if in.Label == "" {
+			return fmt.Errorf("isa: %s: missing branch label", in.Op.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("isa: %s: unknown shape %d", in.Op.Name, in.Op.Shape)
+}
+
+// Sources returns the architectural registers this instruction reads,
+// including the implicit dst read of two-operand forms and the address
+// base of memory ops.
+func (in *Instruction) Sources() []Reg {
+	var out []Reg
+	if in.Op.DstIsSrc && in.Dst.Valid() {
+		out = append(out, in.Dst)
+	}
+	if in.Src1.Valid() {
+		out = append(out, in.Src1)
+	}
+	if in.Src2.Valid() {
+		out = append(out, in.Src2)
+	}
+	if in.MemBase.Valid() {
+		out = append(out, in.MemBase)
+	}
+	return out
+}
+
+// Dest returns the register written, or NoReg for stores, branches,
+// nops and barriers.
+func (in *Instruction) Dest() Reg {
+	switch in.Op.Shape {
+	case ShapeStore, ShapeBranch, ShapeNone, ShapeBarrier:
+		return NoReg
+	}
+	return in.Dst
+}
+
+// String renders the instruction in NASM-flavoured syntax, the same
+// format the assembler parses.
+func (in *Instruction) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.Name)
+	switch in.Op.Shape {
+	case ShapeNone:
+	case ShapeRR:
+		fmt.Fprintf(&b, " %s, %s", in.Dst, in.Src1)
+	case ShapeRRR:
+		fmt.Fprintf(&b, " %s, %s, %s", in.Dst, in.Src1, in.Src2)
+	case ShapeRI:
+		fmt.Fprintf(&b, " %s, %d", in.Dst, in.Imm)
+	case ShapeLoad:
+		fmt.Fprintf(&b, " %s, [%s%+d]", in.Dst, in.MemBase, in.MemDisp)
+	case ShapeStore:
+		fmt.Fprintf(&b, " [%s%+d], %s", in.MemBase, in.MemDisp, in.Src1)
+	case ShapeBranch:
+		fmt.Fprintf(&b, " %s", in.Label)
+	case ShapeBarrier:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	}
+	return b.String()
+}

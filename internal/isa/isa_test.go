@@ -1,0 +1,249 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegRoundTrip(t *testing.T) {
+	for i := 0; i < NumGPR; i++ {
+		r := GPR(i)
+		got, err := ParseReg(r.String())
+		if err != nil {
+			t.Fatalf("ParseReg(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("round trip GPR %d: got %v", i, got)
+		}
+	}
+	for i := 0; i < NumXMM; i++ {
+		r := XMM(i)
+		got, err := ParseReg(r.String())
+		if err != nil {
+			t.Fatalf("ParseReg(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("round trip XMM %d: got %v", i, got)
+		}
+	}
+}
+
+func TestParseRegRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "foo", "xmm16", "xmm-1", "rax ", "XMM0"} {
+		if _, err := ParseReg(s); err == nil {
+			t.Errorf("ParseReg(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestFlatIndexDense(t *testing.T) {
+	seen := make(map[int]bool)
+	for i := 0; i < NumGPR; i++ {
+		seen[GPR(i).FlatIndex()] = true
+	}
+	for i := 0; i < NumXMM; i++ {
+		seen[XMM(i).FlatIndex()] = true
+	}
+	if len(seen) != TotalRegs {
+		t.Fatalf("FlatIndex not dense: %d distinct, want %d", len(seen), TotalRegs)
+	}
+	for i := 0; i < TotalRegs; i++ {
+		if !seen[i] {
+			t.Errorf("FlatIndex gap at %d", i)
+		}
+	}
+}
+
+func TestOpcodeTableInvariants(t *testing.T) {
+	for _, op := range AllOpcodes() {
+		if op.Latency < 1 {
+			t.Errorf("%s: latency %d < 1", op.Name, op.Latency)
+		}
+		if op.RecipThroughput < 1 {
+			t.Errorf("%s: throughput %d < 1", op.Name, op.RecipThroughput)
+		}
+		if op.EnergyPJ <= 0 {
+			t.Errorf("%s: energy %v <= 0", op.Name, op.EnergyPJ)
+		}
+		if op.ToggleFraction < 0 || op.ToggleFraction > 1 {
+			t.Errorf("%s: toggle fraction %v outside [0,1]", op.Name, op.ToggleFraction)
+		}
+		if op.Class.IsFP() && op.Unit != UnitFPU {
+			t.Errorf("%s: FP class but unit %v", op.Name, op.Unit)
+		}
+		if op.Class == ClassNOP && op.Unit != UnitNone {
+			t.Errorf("%s: NOP must not bind an execution unit", op.Name)
+		}
+	}
+}
+
+func TestNOPIsCheapestAndFMAIsHighestPower(t *testing.T) {
+	nop := MustLookup("nop")
+	fma := MustLookup("vfmadd132pd")
+	for _, op := range AllOpcodes() {
+		if op != nop && op.EnergyPJ <= nop.EnergyPJ {
+			t.Errorf("%s energy %v not above NOP %v", op.Name, op.EnergyPJ, nop.EnergyPJ)
+		}
+		if op.EnergyPJ > fma.EnergyPJ {
+			t.Errorf("%s energy %v exceeds FMA %v — FP/SIMD should be the power ceiling", op.Name, op.EnergyPJ, fma.EnergyPJ)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("bogus"); err == nil {
+		t.Fatal("Lookup(bogus) succeeded")
+	}
+}
+
+func TestOpcodesByClass(t *testing.T) {
+	fp := OpcodesByClass(ClassFPAdd, ClassFPMul, ClassFMA)
+	if len(fp) == 0 {
+		t.Fatal("no FP opcodes")
+	}
+	for _, op := range fp {
+		if !op.Class.IsFP() {
+			t.Errorf("%s: class %v not FP", op.Name, op.Class)
+		}
+	}
+}
+
+func TestInstructionStringShapes(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: MustLookup("nop")}, "nop"},
+		{Instruction{Op: MustLookup("add"), Dst: RAX, Src1: RCX}, "add rax, rcx"},
+		{Instruction{Op: MustLookup("vfmadd132pd"), Dst: XMM(0), Src1: XMM(1), Src2: XMM(2)}, "vfmadd132pd xmm0, xmm1, xmm2"},
+		{Instruction{Op: MustLookup("movimm"), Dst: RDX, Imm: 42}, "movimm rdx, 42"},
+		{Instruction{Op: MustLookup("load"), Dst: RAX, MemBase: RBP, MemDisp: 16}, "load rax, [rbp+16]"},
+		{Instruction{Op: MustLookup("store"), Src1: RAX, MemBase: RBP, MemDisp: -8}, "store [rbp-8], rax"},
+		{Instruction{Op: MustLookup("jnz"), Label: "loop"}, "jnz loop"},
+		{Instruction{Op: MustLookup("barrier"), Imm: 3}, "barrier 3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInstructionValid(t *testing.T) {
+	good := Instruction{Op: MustLookup("add"), Dst: RAX, Src1: RCX}
+	if err := good.Valid(); err != nil {
+		t.Errorf("valid add rejected: %v", err)
+	}
+	bad := []Instruction{
+		{Op: MustLookup("add"), Dst: RAX},                          // missing src
+		{Op: MustLookup("add"), Dst: XMM(0), Src1: XMM(1)},         // wrong kind
+		{Op: MustLookup("addpd"), Dst: RAX, Src1: RCX},             // wrong kind
+		{Op: MustLookup("jnz")},                                    // missing label
+		{Op: MustLookup("load"), Dst: RAX, MemBase: XMM(0)},        // base must be GPR
+		{Op: MustLookup("vfmadd132pd"), Dst: XMM(0), Src1: XMM(1)}, // missing src2
+	}
+	for i, in := range bad {
+		if err := in.Valid(); err == nil {
+			t.Errorf("bad[%d] %q accepted", i, in.String())
+		}
+	}
+}
+
+func TestSourcesIncludesDstIsSrcAndBase(t *testing.T) {
+	in := Instruction{Op: MustLookup("add"), Dst: RAX, Src1: RCX}
+	src := in.Sources()
+	if len(src) != 2 || src[0] != RAX || src[1] != RCX {
+		t.Errorf("add sources = %v", src)
+	}
+	ld := Instruction{Op: MustLookup("load"), Dst: RAX, MemBase: RBP}
+	src = ld.Sources()
+	if len(src) != 1 || src[0] != RBP {
+		t.Errorf("load sources = %v", src)
+	}
+	if ld.Dest() != RAX {
+		t.Errorf("load dest = %v", ld.Dest())
+	}
+	st := Instruction{Op: MustLookup("store"), Src1: RAX, MemBase: RBP}
+	if st.Dest() != NoReg {
+		t.Errorf("store dest = %v, want none", st.Dest())
+	}
+}
+
+func TestExecIntSemantics(t *testing.T) {
+	add := Instruction{Op: MustLookup("add"), Dst: RAX, Src1: RCX}
+	got := Exec(&add, Value{Lo: 7}, Value{Lo: 5}, Value{}, 0, Value{})
+	if got.Lo != 12 {
+		t.Errorf("add: got %d want 12", got.Lo)
+	}
+	xor := Instruction{Op: MustLookup("xor"), Dst: RAX, Src1: RCX}
+	got = Exec(&xor, Value{Lo: 0xFF}, Value{Lo: 0x0F}, Value{}, 0, Value{})
+	if got.Lo != 0xF0 {
+		t.Errorf("xor: got %#x", got.Lo)
+	}
+	div := Instruction{Op: MustLookup("idiv"), Dst: RAX, Src1: RCX}
+	got = Exec(&div, Value{Lo: 10}, Value{Lo: 0}, Value{}, 0, Value{})
+	if got.Lo != 10 {
+		t.Errorf("idiv by zero should divide by 1: got %d", got.Lo)
+	}
+}
+
+func TestExecFPSemantics(t *testing.T) {
+	fma := Instruction{Op: MustLookup("vfmadd132pd"), Dst: XMM(0), Src1: XMM(1), Src2: XMM(2)}
+	d := FromFloat64s(2, 3)
+	a := FromFloat64s(4, 5)
+	b := FromFloat64s(1, 1)
+	got := Exec(&fma, d, a, b, 0, Value{})
+	lo, hi := got.Float64s()
+	if lo != 9 || hi != 16 {
+		t.Errorf("fma: got (%v,%v) want (9,16)", lo, hi)
+	}
+}
+
+func TestExecSanitizesNonFinite(t *testing.T) {
+	mul := Instruction{Op: MustLookup("mulpd"), Dst: XMM(0), Src1: XMM(1)}
+	d := FromFloat64s(math.Inf(1), math.NaN())
+	got := Exec(&mul, d, FromFloat64s(2, 2), Value{}, 0, Value{})
+	lo, hi := got.Float64s()
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsInf(hi, 0) || math.IsNaN(hi) {
+		t.Errorf("sanitize failed: (%v, %v)", lo, hi)
+	}
+}
+
+func TestToggleFractionProperties(t *testing.T) {
+	a, b := MaxToggleValues()
+	if got := ToggleFractionOf(a, b); got != 1.0 {
+		t.Errorf("max toggle pair fraction = %v, want 1", got)
+	}
+	// Property: symmetric, zero on identity, bounded.
+	f := func(a, b Value) bool {
+		x, y := ToggleFractionOf(a, b), ToggleFractionOf(b, a)
+		return x == y && x >= 0 && x <= 1 && ToggleFractionOf(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedLaneOps(t *testing.T) {
+	// paddd adds independent 32-bit lanes without carry between them.
+	a := uint64(0xFFFFFFFF_00000001)
+	b := uint64(0x00000001_00000002)
+	if got := paddd32(a, b); got != 0x00000000_00000003 {
+		t.Errorf("paddd32 = %#x", got)
+	}
+	if got := pmul32(0x00000002_00000003, 0x00000004_00000005); got != 0x00000008_0000000F {
+		t.Errorf("pmul32 = %#x", got)
+	}
+}
+
+func TestInstructionStringParsesBackAsWords(t *testing.T) {
+	// Smoke-check that String output stays within the token grammar the
+	// assembler package consumes: mnemonic then comma-separated operands.
+	in := Instruction{Op: MustLookup("mulpd"), Dst: XMM(3), Src1: XMM(4)}
+	s := in.String()
+	if !strings.HasPrefix(s, "mulpd ") || !strings.Contains(s, ",") {
+		t.Errorf("unexpected format %q", s)
+	}
+}

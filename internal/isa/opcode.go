@@ -1,0 +1,207 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OperandShape describes how an opcode's operands are laid out, which
+// the assembler and the random code generator both need.
+type OperandShape uint8
+
+const (
+	// ShapeNone: no operands (nop).
+	ShapeNone OperandShape = iota
+	// ShapeRR: dst, src (dst is also a source for two-operand x86 ops).
+	ShapeRR
+	// ShapeRRR: dst, src1, src2 (three-operand AVX-style form).
+	ShapeRRR
+	// ShapeRI: dst, imm.
+	ShapeRI
+	// ShapeLoad: dst, [base+disp].
+	ShapeLoad
+	// ShapeStore: [base+disp], src.
+	ShapeStore
+	// ShapeBranch: label.
+	ShapeBranch
+	// ShapeBarrier: imm (barrier id).
+	ShapeBarrier
+)
+
+// Opcode is one instruction mnemonic with its full microarchitectural
+// metadata. Opcodes are immutable after table construction; code holds
+// *Opcode pointers and compares them by identity.
+type Opcode struct {
+	// Name is the NASM mnemonic.
+	Name string
+	// Class is the behavioural category.
+	Class Class
+	// Unit is the execution unit the op occupies when it issues.
+	Unit Unit
+	// Shape describes operand layout.
+	Shape OperandShape
+	// RegKind is the register file the data operands live in.
+	RegKind RegKind
+	// Latency is the result latency in cycles (≥1 for non-NOPs).
+	Latency int
+	// RecipThroughput is the issue interval in cycles for back-to-back
+	// ops on the same unit: 1 = fully pipelined, N = one per N cycles.
+	RecipThroughput int
+	// EnergyPJ is the nominal dynamic energy of one execution, in
+	// picojoules, at maximum data toggling.
+	EnergyPJ float64
+	// ToggleFraction is the fraction of EnergyPJ that scales with data
+	// toggling (Hamming distance between consecutive operand values on
+	// the same unit). The paper measured ~10% droop impact from data
+	// values; high-width SIMD ops have the largest toggle component.
+	ToggleFraction float64
+	// DstIsSrc marks two-operand x86 forms where the destination is
+	// also read (add rax, rbx → rax = rax+rbx).
+	DstIsSrc bool
+}
+
+func (o *Opcode) String() string { return o.Name }
+
+// NumSrc returns how many register sources the shape implies (not
+// counting the implicit dst-is-src read).
+func (o *Opcode) NumSrc() int {
+	switch o.Shape {
+	case ShapeRR:
+		return 1
+	case ShapeRRR:
+		return 2
+	case ShapeStore:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// opcodeTable is the full instruction repertoire. Energies are
+// calibrated so a 4-module chip running a dense FMA loop draws tens of
+// watts of dynamic power at nominal voltage — the absolute scale only
+// matters relative to the PDN model, but keeping it physical makes the
+// numbers legible. Latency/throughput values follow the Bulldozer
+// software-optimization-guide ballpark.
+var opcodeTable = []Opcode{
+	// NOP: fetch/decode only. Its tiny energy is charged to the front
+	// end, not to any execution unit.
+	{Name: "nop", Class: ClassNOP, Unit: UnitNone, Shape: ShapeNone, Latency: 1, RecipThroughput: 1, EnergyPJ: 4, ToggleFraction: 0},
+
+	// Integer ALU.
+	{Name: "add", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 28, ToggleFraction: 0.30, DstIsSrc: true},
+	{Name: "sub", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 28, ToggleFraction: 0.30, DstIsSrc: true},
+	{Name: "xor", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 24, ToggleFraction: 0.35, DstIsSrc: true},
+	{Name: "and", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 24, ToggleFraction: 0.35, DstIsSrc: true},
+	{Name: "or", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 24, ToggleFraction: 0.35, DstIsSrc: true},
+	{Name: "shl", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRI, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 26, ToggleFraction: 0.30, DstIsSrc: true},
+	{Name: "rol", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRI, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 26, ToggleFraction: 0.30, DstIsSrc: true},
+	{Name: "dec", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 22, ToggleFraction: 0.20, DstIsSrc: true},
+	{Name: "popcnt", Class: ClassIntALU, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 2, RecipThroughput: 1, EnergyPJ: 34, ToggleFraction: 0.40},
+
+	// Integer multiply / divide.
+	{Name: "imul", Class: ClassIntMul, Unit: UnitIMul, Shape: ShapeRR, RegKind: RegGPR, Latency: 4, RecipThroughput: 1, EnergyPJ: 75, ToggleFraction: 0.45, DstIsSrc: true},
+	{Name: "idiv", Class: ClassIntDiv, Unit: UnitIDiv, Shape: ShapeRR, RegKind: RegGPR, Latency: 22, RecipThroughput: 22, EnergyPJ: 180, ToggleFraction: 0.20, DstIsSrc: true},
+
+	// Address generation.
+	{Name: "lea", Class: ClassLEA, Unit: UnitAGU, Shape: ShapeLoad, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 26, ToggleFraction: 0.25},
+
+	// Moves.
+	{Name: "mov", Class: ClassMove, Unit: UnitALU, Shape: ShapeRR, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 20, ToggleFraction: 0.30},
+	{Name: "movimm", Class: ClassMove, Unit: UnitALU, Shape: ShapeRI, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 20, ToggleFraction: 0.25},
+	{Name: "movaps", Class: ClassMove, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 1, RecipThroughput: 1, EnergyPJ: 34, ToggleFraction: 0.45},
+
+	// Scalar FP.
+	{Name: "addsd", Class: ClassFPAdd, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 5, RecipThroughput: 1, EnergyPJ: 140, ToggleFraction: 0.35, DstIsSrc: true},
+	{Name: "mulsd", Class: ClassFPMul, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 5, RecipThroughput: 1, EnergyPJ: 200, ToggleFraction: 0.40, DstIsSrc: true},
+	{Name: "divsd", Class: ClassFPDiv, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 20, RecipThroughput: 20, EnergyPJ: 260, ToggleFraction: 0.15, DstIsSrc: true},
+
+	// Packed FP (128-bit): the high-power ops.
+	{Name: "addpd", Class: ClassFPAdd, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 5, RecipThroughput: 1, EnergyPJ: 260, ToggleFraction: 0.45, DstIsSrc: true},
+	{Name: "mulpd", Class: ClassFPMul, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 5, RecipThroughput: 1, EnergyPJ: 380, ToggleFraction: 0.50, DstIsSrc: true},
+	{Name: "mulps", Class: ClassFPMul, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 5, RecipThroughput: 1, EnergyPJ: 360, ToggleFraction: 0.50, DstIsSrc: true},
+	{Name: "vfmadd132pd", Class: ClassFMA, Unit: UnitFPU, Shape: ShapeRRR, RegKind: RegXMM, Latency: 6, RecipThroughput: 1, EnergyPJ: 500, ToggleFraction: 0.50, DstIsSrc: true},
+	{Name: "vfmadd231ps", Class: ClassFMA, Unit: UnitFPU, Shape: ShapeRRR, RegKind: RegXMM, Latency: 6, RecipThroughput: 1, EnergyPJ: 480, ToggleFraction: 0.50, DstIsSrc: true},
+
+	// Packed integer SIMD.
+	{Name: "paddd", Class: ClassSIMDInt, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 2, RecipThroughput: 1, EnergyPJ: 200, ToggleFraction: 0.45, DstIsSrc: true},
+	{Name: "pmulld", Class: ClassSIMDInt, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 4, RecipThroughput: 1, EnergyPJ: 330, ToggleFraction: 0.50, DstIsSrc: true},
+	{Name: "pxor", Class: ClassSIMDInt, Unit: UnitFPU, Shape: ShapeRR, RegKind: RegXMM, Latency: 1, RecipThroughput: 1, EnergyPJ: 120, ToggleFraction: 0.50, DstIsSrc: true},
+
+	// Memory.
+	{Name: "load", Class: ClassLoad, Unit: UnitLSU, Shape: ShapeLoad, RegKind: RegGPR, Latency: 4, RecipThroughput: 1, EnergyPJ: 65, ToggleFraction: 0.25},
+	{Name: "loadx", Class: ClassLoad, Unit: UnitLSU, Shape: ShapeLoad, RegKind: RegXMM, Latency: 5, RecipThroughput: 1, EnergyPJ: 115, ToggleFraction: 0.30},
+	{Name: "store", Class: ClassStore, Unit: UnitLSU, Shape: ShapeStore, RegKind: RegGPR, Latency: 1, RecipThroughput: 1, EnergyPJ: 60, ToggleFraction: 0.25},
+	{Name: "storex", Class: ClassStore, Unit: UnitLSU, Shape: ShapeStore, RegKind: RegXMM, Latency: 1, RecipThroughput: 1, EnergyPJ: 110, ToggleFraction: 0.30},
+
+	// Control flow.
+	{Name: "jmp", Class: ClassBranch, Unit: UnitBranch, Shape: ShapeBranch, Latency: 1, RecipThroughput: 1, EnergyPJ: 30, ToggleFraction: 0},
+	{Name: "jnz", Class: ClassBranch, Unit: UnitBranch, Shape: ShapeBranch, Latency: 1, RecipThroughput: 1, EnergyPJ: 32, ToggleFraction: 0},
+
+	// Synchronisation.
+	{Name: "barrier", Class: ClassBarrier, Unit: UnitLSU, Shape: ShapeBarrier, Latency: 1, RecipThroughput: 1, EnergyPJ: 50, ToggleFraction: 0},
+}
+
+var opcodeByName map[string]*Opcode
+
+func init() {
+	opcodeByName = make(map[string]*Opcode, len(opcodeTable))
+	for i := range opcodeTable {
+		op := &opcodeTable[i]
+		if op.Latency < 1 {
+			panic(fmt.Sprintf("isa: opcode %s has latency %d", op.Name, op.Latency))
+		}
+		if op.RecipThroughput < 1 {
+			panic(fmt.Sprintf("isa: opcode %s has throughput %d", op.Name, op.RecipThroughput))
+		}
+		if _, dup := opcodeByName[op.Name]; dup {
+			panic("isa: duplicate opcode " + op.Name)
+		}
+		opcodeByName[op.Name] = op
+	}
+}
+
+// Lookup returns the opcode with the given mnemonic, or an error.
+func Lookup(name string) (*Opcode, error) {
+	if op, ok := opcodeByName[name]; ok {
+		return op, nil
+	}
+	return nil, fmt.Errorf("isa: unknown opcode %q", name)
+}
+
+// MustLookup is Lookup for table-driven construction; it panics on
+// unknown mnemonics.
+func MustLookup(name string) *Opcode {
+	op, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// AllOpcodes returns the full repertoire sorted by name. The slice is
+// fresh; the *Opcode values are the canonical shared instances.
+func AllOpcodes() []*Opcode {
+	out := make([]*Opcode, 0, len(opcodeTable))
+	for i := range opcodeTable {
+		out = append(out, &opcodeTable[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// OpcodesByClass returns the opcodes belonging to any of the given
+// classes, sorted by name.
+func OpcodesByClass(classes ...Class) []*Opcode {
+	want := map[Class]bool{}
+	for _, c := range classes {
+		want[c] = true
+	}
+	var out []*Opcode
+	for _, op := range AllOpcodes() {
+		if want[op.Class] {
+			out = append(out, op)
+		}
+	}
+	return out
+}

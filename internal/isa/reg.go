@@ -1,0 +1,119 @@
+// Package isa defines the synthetic x86-64-like instruction set used by
+// AUDIT and by the cycle-level simulator. It is a faithful *behavioural*
+// stand-in for the subset of x86-64 the paper's code generator emits:
+// integer, floating-point, and 128-bit SIMD instructions over
+// general-purpose and media registers, plus loads, stores, branches and
+// NOPs. Each opcode carries the microarchitectural metadata the rest of
+// the system needs: execution-unit binding, latency, issue throughput,
+// dynamic energy, and data-toggle sensitivity.
+package isa
+
+import "fmt"
+
+// RegKind distinguishes the architectural register files.
+type RegKind uint8
+
+const (
+	// RegNone marks an unused operand slot.
+	RegNone RegKind = iota
+	// RegGPR is a 64-bit general-purpose register (rax..r15).
+	RegGPR
+	// RegXMM is a 128-bit media register (xmm0..xmm15).
+	RegXMM
+)
+
+// Reg identifies one architectural register. The zero value is "no
+// register", so unused operand slots need no sentinel handling.
+type Reg struct {
+	Kind  RegKind
+	Index uint8
+}
+
+// NumGPR and NumXMM give the architectural register-file sizes.
+const (
+	NumGPR = 16
+	NumXMM = 16
+)
+
+// Common registers, named after their x86-64 counterparts.
+var (
+	NoReg = Reg{}
+
+	RAX = GPR(0)
+	RCX = GPR(1)
+	RDX = GPR(2)
+	RBX = GPR(3)
+	RSP = GPR(4)
+	RBP = GPR(5)
+	RSI = GPR(6)
+	RDI = GPR(7)
+)
+
+var gprNames = [NumGPR]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// GPR returns the i-th general-purpose register.
+func GPR(i int) Reg {
+	if i < 0 || i >= NumGPR {
+		panic(fmt.Sprintf("isa: GPR index %d out of range", i))
+	}
+	return Reg{Kind: RegGPR, Index: uint8(i)}
+}
+
+// XMM returns the i-th 128-bit media register.
+func XMM(i int) Reg {
+	if i < 0 || i >= NumXMM {
+		panic(fmt.Sprintf("isa: XMM index %d out of range", i))
+	}
+	return Reg{Kind: RegXMM, Index: uint8(i)}
+}
+
+// Valid reports whether r names an actual register (not the zero Reg).
+func (r Reg) Valid() bool { return r.Kind != RegNone }
+
+// String renders the register in NASM syntax.
+func (r Reg) String() string {
+	switch r.Kind {
+	case RegNone:
+		return "<none>"
+	case RegGPR:
+		return gprNames[r.Index]
+	case RegXMM:
+		return fmt.Sprintf("xmm%d", r.Index)
+	default:
+		return fmt.Sprintf("<bad reg kind %d>", r.Kind)
+	}
+}
+
+// ParseReg parses a register name in NASM syntax ("rax", "xmm3").
+func ParseReg(s string) (Reg, error) {
+	for i, n := range gprNames {
+		if s == n {
+			return GPR(i), nil
+		}
+	}
+	var idx int
+	if n, err := fmt.Sscanf(s, "xmm%d", &idx); err == nil && n == 1 {
+		if idx >= 0 && idx < NumXMM {
+			return XMM(idx), nil
+		}
+	}
+	return NoReg, fmt.Errorf("isa: unknown register %q", s)
+}
+
+// FlatIndex maps the register onto a dense [0, NumGPR+NumXMM) range,
+// useful for rename tables and scoreboards. Panics on the zero Reg.
+func (r Reg) FlatIndex() int {
+	switch r.Kind {
+	case RegGPR:
+		return int(r.Index)
+	case RegXMM:
+		return NumGPR + int(r.Index)
+	}
+	panic("isa: FlatIndex of invalid register")
+}
+
+// TotalRegs is the number of distinct architectural registers.
+const TotalRegs = NumGPR + NumXMM

@@ -1,0 +1,161 @@
+package isa
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Value is a 128-bit datum: two 64-bit lanes. GPR values use lane Lo
+// only; XMM values use both. Carrying real data values through the
+// simulator is what lets the power model charge genuine data-toggle
+// energy — the paper found data values change droop by ~10% and AUDIT
+// therefore feeds operands that maximise toggling.
+type Value struct {
+	Lo, Hi uint64
+}
+
+// PopHamming returns the Hamming distance between two 128-bit values.
+func PopHamming(a, b Value) int {
+	return bits.OnesCount64(a.Lo^b.Lo) + bits.OnesCount64(a.Hi^b.Hi)
+}
+
+// ToggleFractionOf returns the fraction (0..1) of the 128 bit positions
+// that differ between a and b. The power model multiplies this into an
+// opcode's toggle-sensitive energy component.
+func ToggleFractionOf(a, b Value) float64 {
+	return float64(PopHamming(a, b)) / 128.0
+}
+
+// Float64s views the value as two packed float64 lanes.
+func (v Value) Float64s() (lo, hi float64) {
+	return math.Float64frombits(v.Lo), math.Float64frombits(v.Hi)
+}
+
+// FromFloat64s packs two float64 lanes into a value.
+func FromFloat64s(lo, hi float64) Value {
+	return Value{Lo: math.Float64bits(lo), Hi: math.Float64bits(hi)}
+}
+
+// sanitize replaces non-finite lanes with a bounded constant so FP
+// stress loops cannot diverge to Inf/NaN (which would freeze toggling
+// and distort the power model over long runs).
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1.5
+	}
+	// Keep magnitudes in a regime where repeated mul/fma stays finite.
+	if x > 1e100 || x < -1e100 {
+		return x / 1e90
+	}
+	return x
+}
+
+func fpBinop(a, b Value, f func(x, y float64) float64) Value {
+	alo, ahi := a.Float64s()
+	blo, bhi := b.Float64s()
+	return FromFloat64s(sanitize(f(alo, blo)), sanitize(f(ahi, bhi)))
+}
+
+// Exec computes the architectural result of the instruction given its
+// source values. Inputs follow Sources() order semantics loosely: ops
+// receive (dstOld, src1, src2, base) as applicable. Stores and branches
+// return the zero Value; branch direction is decided by the simulator
+// from loop-counter state, not here. addr is the resolved effective
+// address for lea. mem is the loaded value for loads.
+func Exec(in *Instruction, dstOld, src1, src2 Value, addr uint64, mem Value) Value {
+	switch in.Op.Class {
+	case ClassNOP, ClassStore, ClassBranch, ClassBarrier:
+		return Value{}
+	case ClassMove:
+		switch in.Op.Shape {
+		case ShapeRI:
+			return Value{Lo: uint64(in.Imm)}
+		default:
+			return src1
+		}
+	case ClassIntALU:
+		switch in.Op.Name {
+		case "add":
+			return Value{Lo: dstOld.Lo + src1.Lo}
+		case "sub":
+			return Value{Lo: dstOld.Lo - src1.Lo}
+		case "xor":
+			return Value{Lo: dstOld.Lo ^ src1.Lo}
+		case "and":
+			return Value{Lo: dstOld.Lo & src1.Lo}
+		case "or":
+			return Value{Lo: dstOld.Lo | src1.Lo}
+		case "shl":
+			return Value{Lo: dstOld.Lo << (uint64(in.Imm) & 63)}
+		case "rol":
+			return Value{Lo: bits.RotateLeft64(dstOld.Lo, int(in.Imm)&63)}
+		case "dec":
+			return Value{Lo: dstOld.Lo - 1}
+		case "popcnt":
+			return Value{Lo: uint64(bits.OnesCount64(src1.Lo))}
+		}
+		return Value{Lo: dstOld.Lo + src1.Lo}
+	case ClassIntMul:
+		return Value{Lo: dstOld.Lo * src1.Lo}
+	case ClassIntDiv:
+		d := src1.Lo
+		if d == 0 {
+			d = 1
+		}
+		return Value{Lo: dstOld.Lo / d}
+	case ClassLEA:
+		return Value{Lo: addr}
+	case ClassFPAdd:
+		return fpBinop(dstOld, src1, func(x, y float64) float64 { return x + y })
+	case ClassFPMul:
+		return fpBinop(dstOld, src1, func(x, y float64) float64 { return x * y })
+	case ClassFPDiv:
+		return fpBinop(dstOld, src1, func(x, y float64) float64 {
+			if y == 0 {
+				y = 1
+			}
+			return x / y
+		})
+	case ClassFMA:
+		dlo, dhi := dstOld.Float64s()
+		alo, ahi := src1.Float64s()
+		blo, bhi := src2.Float64s()
+		return FromFloat64s(sanitize(dlo*alo+blo), sanitize(dhi*ahi+bhi))
+	case ClassSIMDInt:
+		switch in.Op.Name {
+		case "paddd":
+			return Value{Lo: paddd32(dstOld.Lo, src1.Lo), Hi: paddd32(dstOld.Hi, src1.Hi)}
+		case "pmulld":
+			return Value{Lo: pmul32(dstOld.Lo, src1.Lo), Hi: pmul32(dstOld.Hi, src1.Hi)}
+		case "pxor":
+			return Value{Lo: dstOld.Lo ^ src1.Lo, Hi: dstOld.Hi ^ src1.Hi}
+		}
+		return Value{Lo: dstOld.Lo ^ src1.Lo, Hi: dstOld.Hi ^ src1.Hi}
+	case ClassLoad:
+		return mem
+	}
+	return Value{}
+}
+
+// paddd32 adds two packed pairs of 32-bit lanes inside a 64-bit word.
+func paddd32(a, b uint64) uint64 {
+	lo := uint32(a) + uint32(b)
+	hi := uint32(a>>32) + uint32(b>>32)
+	return uint64(lo) | uint64(hi)<<32
+}
+
+// pmul32 multiplies two packed pairs of 32-bit lanes.
+func pmul32(a, b uint64) uint64 {
+	lo := uint32(a) * uint32(b)
+	hi := uint32(a>>32) * uint32(b>>32)
+	return uint64(lo) | uint64(hi)<<32
+}
+
+// MaxToggleValues returns the alternating operand pair AUDIT feeds to
+// maximise bit toggling between consecutive operations on the same
+// functional unit (§3: "an alternating set of values that guarantee
+// maximum toggling").
+func MaxToggleValues() (a, b Value) {
+	return Value{Lo: 0xAAAAAAAAAAAAAAAA, Hi: 0xAAAAAAAAAAAAAAAA},
+		Value{Lo: 0x5555555555555555, Hi: 0x5555555555555555}
+}

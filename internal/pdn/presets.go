@@ -1,0 +1,55 @@
+package pdn
+
+// Bulldozer returns the PDN configuration used with the Bulldozer-style
+// chip model. Element values are chosen so the three resonances land
+// where the paper and its references place them: first droop ≈ 100 MHz
+// (package + die inductance against on-die decap, within the 50–200 MHz
+// range of §2), second droop ≈ 3 MHz, third droop ≈ 20 kHz — and so a
+// resonant stressmark's full current swing builds a droop of roughly
+// 10% of nominal, matching the scale of Fig. 9/10.
+func Bulldozer() Config {
+	return Config{
+		Name: "bulldozer-pdn",
+		VNom: 1.25,
+		RVRM: 0.2e-3,
+		// Load-line slope typical of desktop VRMs (~1 mΩ); disabled by
+		// default to match the paper's measurement methodology.
+		LoadLineOhms: 1.0e-3,
+		LoadLineOn:   false,
+
+		LMB: 10e-9, RMB: 0.5e-3, CMB: 5e-3, ESRMB: 0.1e-3,
+		LPkg1: 50e-12, RPkg1: 0.1e-3, CPkg: 50e-6, ESRPkg: 0.2e-3,
+		LDie: 2.5e-12, RDie: 0.1e-3, CDie: 1.0e-6, ESRDie: 0.3e-3,
+	}
+}
+
+// Phenom returns the PDN configuration for the 45 nm Phenom-II-style
+// chip: same board (the paper swaps only the processor), but the die
+// stage changes — older process, less on-die decap, slightly higher
+// effective inductance — so the first-droop resonance moves and AUDIT
+// must re-detect it (§5.C).
+func Phenom() Config {
+	c := Bulldozer()
+	c.Name = "phenom-pdn"
+	c.VNom = 1.30
+	c.CDie = 0.6e-6
+	c.LDie = 2.2e-12
+	c.ESRDie = 0.4e-3
+	return c
+}
+
+// ServerBoard returns a board-variation preset: the same die in a
+// different socket/board, moving the first-droop resonance down — the
+// §3 motivation for re-running the detection sweep "across different
+// boards or even within the same board if the components of the board
+// change".
+func ServerBoard() Config {
+	c := Bulldozer()
+	c.Name = "server-board-pdn"
+	// Larger package inductance and more on-package decap: the first
+	// droop slides from ≈100 MHz to ≈70 MHz.
+	c.LDie = 5.2e-12
+	c.ESRDie = 0.35e-3
+	c.CPkg = 80e-6
+	return c
+}

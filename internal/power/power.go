@@ -1,0 +1,95 @@
+// Package power converts microarchitectural activity into current
+// draw. Per-opcode execution energies live in package isa; this package
+// adds the machine-level components (clock tree, front end, schedulers,
+// leakage) and the conversion from per-cycle energy to the amps the PDN
+// model sinks.
+package power
+
+import "fmt"
+
+// Model holds the machine-level energy coefficients. Values are
+// calibrated so a Bulldozer-style module swings between roughly 2 W
+// (NOP loop) and 6 W (dense FP loop) — a chip-level ΔI of tens of amps
+// at 1.25 V, the regime in which the paper's stressmarks operate.
+type Model struct {
+	// ClockPJPerModuleCycle is dynamic clock-tree + always-on energy
+	// per module per cycle.
+	ClockPJPerModuleCycle float64
+	// CorePJPerActiveCycle is charged per core per cycle in which the
+	// core decoded or issued anything (pipeline latches, local clocks).
+	CorePJPerActiveCycle float64
+	// FrontEndPJPerOp is fetch+decode energy per instruction, including
+	// NOPs — NOPs "consume fetch and decode resources but do not affect
+	// other structures" (§5.A.5).
+	FrontEndPJPerOp float64
+	// SchedPJPerIssue is scheduler wakeup/select energy per issued uop.
+	SchedPJPerIssue float64
+	// LeakageWattsPerModule is static power per module.
+	LeakageWattsPerModule float64
+	// FPIdlePJPerCycle models the clock-gated FPU's residual burn per
+	// module cycle when no FP op issues. Phenom's is higher relative to
+	// its peak ("does not manage power as aggressively", §5.C),
+	// shrinking its high/low swing.
+	FPIdlePJPerCycle float64
+}
+
+// Validate checks coefficients are non-negative and the model is usable.
+func (m Model) Validate() error {
+	for _, v := range []float64{
+		m.ClockPJPerModuleCycle, m.CorePJPerActiveCycle, m.FrontEndPJPerOp,
+		m.SchedPJPerIssue, m.LeakageWattsPerModule, m.FPIdlePJPerCycle,
+	} {
+		if v < 0 {
+			return fmt.Errorf("power: negative coefficient in model")
+		}
+	}
+	if m.ClockPJPerModuleCycle == 0 && m.FrontEndPJPerOp == 0 {
+		return fmt.Errorf("power: degenerate model")
+	}
+	return nil
+}
+
+// BulldozerModel returns coefficients for the aggressive-clock-gating
+// 32 nm Bulldozer-style chip: a large gap between idle and busy.
+func BulldozerModel() Model {
+	return Model{
+		ClockPJPerModuleCycle: 300,
+		CorePJPerActiveCycle:  90,
+		FrontEndPJPerOp:       35,
+		SchedPJPerIssue:       18,
+		LeakageWattsPerModule: 1.1,
+		FPIdlePJPerCycle:      25,
+	}
+}
+
+// PhenomModel returns coefficients for the 45 nm Phenom-II-style chip:
+// higher baseline (weaker clock gating, more leakage) and therefore
+// less variation between the high- and low-power regions.
+func PhenomModel() Model {
+	return Model{
+		ClockPJPerModuleCycle: 520,
+		CorePJPerActiveCycle:  120,
+		FrontEndPJPerOp:       40,
+		SchedPJPerIssue:       20,
+		LeakageWattsPerModule: 2.2,
+		FPIdlePJPerCycle:      140,
+	}
+}
+
+// Amps converts one cycle's energy (picojoules) into the average
+// current drawn over that cycle at supply voltage vdd with cycle time
+// dt seconds: I = E/(dt·V).
+func Amps(energyPJ, dt, vdd float64) float64 {
+	if dt <= 0 || vdd <= 0 {
+		return 0
+	}
+	return energyPJ * 1e-12 / (dt * vdd)
+}
+
+// LeakageAmps returns the chip's static current at vdd.
+func (m Model) LeakageAmps(modules int, vdd float64) float64 {
+	if vdd <= 0 {
+		return 0
+	}
+	return m.LeakageWattsPerModule * float64(modules) / vdd
+}

@@ -1,0 +1,73 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range []Model{BulldozerModel(), PhenomModel()} {
+		if err := m.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	bad := BulldozerModel()
+	bad.FrontEndPJPerOp = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+	if err := (Model{}).Validate(); err == nil {
+		t.Error("degenerate model accepted")
+	}
+}
+
+func TestAmpsConversion(t *testing.T) {
+	// 1000 pJ over 1 ns at 1.25 V: P = 1 W → I = 0.8 A.
+	got := Amps(1000, 1e-9, 1.25)
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Amps = %v, want 0.8", got)
+	}
+	if Amps(1000, 0, 1.25) != 0 || Amps(1000, 1e-9, 0) != 0 {
+		t.Error("degenerate inputs should yield zero")
+	}
+}
+
+func TestLeakage(t *testing.T) {
+	m := BulldozerModel()
+	got := m.LeakageAmps(4, 1.25)
+	want := m.LeakageWattsPerModule * 4 / 1.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("leakage = %v, want %v", got, want)
+	}
+	if m.LeakageAmps(4, 0) != 0 {
+		t.Error("zero volts should yield zero leakage")
+	}
+}
+
+func TestPhenomHasSmallerSwingProfile(t *testing.T) {
+	bd, ph := BulldozerModel(), PhenomModel()
+	// §5.C: the older part gates less aggressively — its baseline burn
+	// (clock + FP idle) must be higher relative to Bulldozer's.
+	if ph.ClockPJPerModuleCycle <= bd.ClockPJPerModuleCycle {
+		t.Error("Phenom clock baseline should exceed Bulldozer's")
+	}
+	if ph.FPIdlePJPerCycle <= bd.FPIdlePJPerCycle {
+		t.Error("Phenom FP idle burn should exceed Bulldozer's")
+	}
+	if ph.LeakageWattsPerModule <= bd.LeakageWattsPerModule {
+		t.Error("45 nm leakage should exceed 32 nm")
+	}
+}
+
+func TestQuickAmpsLinear(t *testing.T) {
+	f := func(pjRaw uint16) bool {
+		pj := float64(pjRaw)
+		a := Amps(pj, 1e-9, 1.25)
+		b := Amps(2*pj, 1e-9, 1.25)
+		return math.Abs(b-2*a) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

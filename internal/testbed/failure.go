@@ -1,0 +1,91 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// FailureModel decides when a droop becomes a timing error. Each
+// execution-unit kind has a critical voltage: if the die voltage falls
+// below it *while that unit is active*, the exercised path misses
+// timing and the run fails. This captures the paper's central §5.A.4
+// finding — droop magnitude alone does not predict the failure point;
+// which paths are being exercised when the droop arrives matters. SM2
+// fails at a high supply voltage despite a benchmark-sized droop
+// because it exercises the most voltage-sensitive paths.
+type FailureModel struct {
+	// CriticalV[u] is the die voltage below which unit u fails while
+	// active. Zero disables checking for that unit.
+	CriticalV [isa.NumUnits]float64
+}
+
+// BulldozerFailureModel returns per-unit critical voltages for the
+// primary system. The divider and load/store paths are the most
+// voltage-sensitive (longest logic depth per cycle); plain ALU paths
+// the least.
+func BulldozerFailureModel() FailureModel {
+	var f FailureModel
+	f.CriticalV[isa.UnitALU] = 1.060
+	f.CriticalV[isa.UnitAGU] = 1.062
+	f.CriticalV[isa.UnitIMul] = 1.082
+	f.CriticalV[isa.UnitIDiv] = 1.118
+	f.CriticalV[isa.UnitFPU] = 1.090
+	f.CriticalV[isa.UnitLSU] = 1.093
+	f.CriticalV[isa.UnitBranch] = 1.055
+	return f
+}
+
+// PhenomFailureModel returns critical voltages for the 45 nm part
+// (nominal 1.30 V, slower process, proportionally higher thresholds).
+func PhenomFailureModel() FailureModel {
+	var f FailureModel
+	f.CriticalV[isa.UnitALU] = 1.105
+	f.CriticalV[isa.UnitAGU] = 1.108
+	f.CriticalV[isa.UnitIMul] = 1.125
+	f.CriticalV[isa.UnitIDiv] = 1.155
+	f.CriticalV[isa.UnitFPU] = 1.135
+	f.CriticalV[isa.UnitLSU] = 1.140
+	f.CriticalV[isa.UnitBranch] = 1.100
+	return f
+}
+
+// Check returns whether the cycle failed and, if so, on which unit.
+func (f FailureModel) Check(vDie float64, res *cpu.CycleResult) (bool, isa.Unit) {
+	for u := isa.Unit(1); u < isa.NumUnits; u++ {
+		if res.UnitIssues[u] > 0 && f.CriticalV[u] > 0 && vDie < f.CriticalV[u] {
+			return true, u
+		}
+	}
+	return false, isa.UnitNone
+}
+
+// FailureStep is the supply-voltage decrement of the paper's procedure
+// (§5.A.4): "we reduce the operating voltage in decrements of 12.5 mV
+// until failure occurs."
+const FailureStep = 0.0125
+
+// FindFailureVoltage lowers the supply in FailureStep decrements,
+// re-running the workload at each point, and returns the highest supply
+// voltage at which the run fails. Higher is "better" for a stressmark —
+// it means the program kills the part while more margin remains. floor
+// bounds the search; if nothing fails above it, floor is returned with
+// ok=false.
+func (p Platform) FindFailureVoltage(rc RunConfig, floor float64) (float64, bool, error) {
+	if floor <= 0 || floor >= p.PDN.VNom {
+		return 0, false, fmt.Errorf("testbed: floor %g out of range", floor)
+	}
+	for v := p.PDN.VNom; v >= floor; v -= FailureStep {
+		cfg := rc
+		cfg.SupplyVolts = v
+		m, err := p.Run(cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		if m.Failed {
+			return v, true, nil
+		}
+	}
+	return floor, false, nil
+}

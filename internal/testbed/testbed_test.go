@@ -1,0 +1,321 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/scope"
+	"repro/internal/trace"
+)
+
+// hpLpLoop builds a resonant-style loop: H cycles of a high-power
+// pattern (2 FMAs + 2 NOPs per cycle ≈ decode-bound) followed by L
+// cycles of NOPs (4 per cycle), repeated iters times.
+func hpLpLoop(name string, hCycles, lCycles int, iters int64) *asm.Program {
+	b := asm.NewBuilder(name)
+	b.InitToggle(16, 8)
+	b.RI("movimm", isa.RCX, iters)
+	b.Label("loop")
+	for i := 0; i < hCycles; i++ {
+		b.RRR("vfmadd132pd", isa.XMM(i%12), isa.XMM(12+(i%2)), isa.XMM(14+(i%2)))
+		b.RRR("vfmadd132pd", isa.XMM((i+6)%12), isa.XMM(13-(i%2)), isa.XMM(15-(i%2)))
+		b.Nop(2)
+	}
+	b.Nop(4 * lCycles)
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	return b.MustBuild()
+}
+
+// resonancePeriodCycles returns the platform's first-droop period in
+// clock cycles.
+func resonancePeriodCycles(p Platform) int {
+	return int(math.Round(p.Chip.ClockHz / p.PDN.FirstDroopNominal()))
+}
+
+func run4T(t *testing.T, p Platform, prog *asm.Program, cycles uint64, adjust func(*RunConfig)) *Measurement {
+	t.Helper()
+	threads, err := SpreadPlacement(p.Chip, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Threads: threads, MaxCycles: cycles, WarmupCycles: 2000}
+	if adjust != nil {
+		adjust(&rc)
+	}
+	m, err := p.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSpreadPlacement(t *testing.T) {
+	p := Bulldozer()
+	prog := asm.NewBuilder("x").Nop(1).MustBuild()
+	specs, err := SpreadPlacement(p.Chip, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		if s.Module != i || s.Core != 0 {
+			t.Errorf("4T spec %d = %+v, want one per module on core 0", i, s)
+		}
+	}
+	specs, err = SpreadPlacement(p.Chip, prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[4].Module != 0 || specs[4].Core != 1 {
+		t.Errorf("8T spec 4 = %+v, want module 0 core 1", specs[4])
+	}
+	if _, err := SpreadPlacement(p.Chip, prog, 9); err == nil {
+		t.Error("9 threads on 8 cores accepted")
+	}
+	if _, err := SpreadPlacement(p.Chip, prog, 0); err == nil {
+		t.Error("0 threads accepted")
+	}
+}
+
+func TestRunProducesDroop(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period/2, 1<<40)
+	m := run4T(t, p, prog, 40000, nil)
+	if m.MaxDroopV <= 0.005 {
+		t.Fatalf("4T resonant loop droop = %.4f V, want noticeable", m.MaxDroopV)
+	}
+	if m.MaxDroopV > 0.3*p.Nominal() {
+		t.Fatalf("droop %.4f V implausibly large", m.MaxDroopV)
+	}
+	if m.MaxOvershootV <= 0 {
+		t.Error("resonance should also overshoot")
+	}
+	if m.AvgPowerW < 5 || m.AvgPowerW > 120 {
+		t.Errorf("average power %.1f W out of plausible desktop range", m.AvgPowerW)
+	}
+}
+
+func TestResonantPeriodBeatsOffResonance(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	droopFor := func(h, l int) float64 {
+		m := run4T(t, p, hpLpLoop("x", h, l, 1<<40), 40000, nil)
+		return m.MaxDroopV
+	}
+	on := droopFor(period/2, period-period/2)
+	half := droopFor(period/4, period/2-period/4)
+	double := droopFor(period, period)
+	if on <= half || on <= double {
+		t.Errorf("resonant droop %.4f should beat off-resonance %.4f (half) and %.4f (double)",
+			on, half, double)
+	}
+}
+
+func TestWaveformDominantFrequencyIsResonance(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	m := run4T(t, p, prog, 30000, func(rc *RunConfig) {
+		rc.RecordWaveform = true
+	})
+	if len(m.Waveform) == 0 {
+		t.Fatal("no waveform recorded")
+	}
+	fRes := p.PDN.FirstDroopNominal()
+	f, err := trace.DominantFrequencyInBand(m.Waveform, p.Chip.ClockHz, fRes/3, fRes*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-fRes)/fRes > 0.25 {
+		t.Errorf("dominant frequency %.1f MHz, want ≈ %.1f MHz", f/1e6, fRes/1e6)
+	}
+}
+
+func TestMisalignedThreadsDroopLess(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	aligned := run4T(t, p, prog, 30000, nil)
+	misaligned := run4T(t, p, prog, 30000, func(rc *RunConfig) {
+		// Anti-phase pairs: two threads droop while two overshoot.
+		for i := range rc.Threads {
+			if i%2 == 1 {
+				rc.Threads[i].StartSkew = uint64(period / 2)
+			}
+		}
+	})
+	if misaligned.MaxDroopV >= aligned.MaxDroopV*0.85 {
+		t.Errorf("anti-phase droop %.4f not clearly below aligned %.4f",
+			misaligned.MaxDroopV, aligned.MaxDroopV)
+	}
+}
+
+func TestDitheringRecoversAlignment(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	aligned := run4T(t, p, prog, 30000, nil)
+
+	// Misalign thread 1 by half a period, then dither it: one cycle of
+	// padding every M cycles sweeps every relative alignment.
+	M := uint64(8 * period)
+	dithered := run4T(t, p, prog, uint64(M)*uint64(period)+20000, func(rc *RunConfig) {
+		rc.Threads[1].StartSkew = uint64(period / 2)
+		rc.Dither = []DitherSpec{{
+			Core:         rc.Threads[1].GlobalCore(p.Chip),
+			PeriodCycles: M,
+			PadCycles:    1,
+		}}
+	})
+	if dithered.MaxDroopV < aligned.MaxDroopV*0.85 {
+		t.Errorf("dithering failed to recover alignment: %.4f vs aligned %.4f",
+			dithered.MaxDroopV, aligned.MaxDroopV)
+	}
+}
+
+func TestFailureAtReducedSupply(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	threads, _ := SpreadPlacement(p.Chip, prog, 4)
+	rc := RunConfig{Threads: threads, MaxCycles: 25000, WarmupCycles: 2000}
+
+	atNominal, err := p.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atNominal.Failed {
+		t.Fatal("failure at nominal supply: margins are mis-calibrated")
+	}
+	low := rc
+	low.SupplyVolts = p.Nominal() - 0.15
+	atLow, err := p.Run(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atLow.Failed {
+		t.Fatalf("no failure at %.3f V with a resonant stressmark", low.SupplyVolts)
+	}
+}
+
+func TestFindFailureVoltageOrdersStressmarks(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	resonant := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	weak := hpLpLoop("weak", period/4, period/4, 1<<40) // off-resonance, lower swing
+	vf := func(prog *asm.Program) float64 {
+		threads, _ := SpreadPlacement(p.Chip, prog, 4)
+		rc := RunConfig{Threads: threads, MaxCycles: 20000, WarmupCycles: 2000}
+		v, ok, err := p.FindFailureVoltage(rc, p.Nominal()-0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s never failed above floor", prog.Name)
+		}
+		return v
+	}
+	vRes := vf(resonant)
+	vWeak := vf(weak)
+	if vRes <= vWeak {
+		t.Errorf("resonant stressmark should fail at higher voltage: %.4f vs %.4f", vRes, vWeak)
+	}
+}
+
+func TestHistogramCollection(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	h, err := scope.NewHistogram(p.Nominal()-0.3, p.Nominal()+0.2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := run4T(t, p, prog, 20000, func(rc *RunConfig) {
+		rc.Histogram = h
+		rc.TriggerThreshold = p.Nominal() - 0.02
+	})
+	want := m.Cycles - 2000
+	if h.Total() != want {
+		t.Errorf("histogram samples = %d, want %d", h.Total(), want)
+	}
+	if m.DroopEvents == 0 {
+		t.Error("no droop events triggered by a resonant stressmark")
+	}
+}
+
+func TestDeterministicMeasurements(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	a := run4T(t, p, prog, 15000, nil)
+	b := run4T(t, p, prog, 15000, nil)
+	if a.MaxDroopV != b.MaxDroopV || a.EnergyPJ != b.EnergyPJ || a.Retired != b.Retired {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := Bulldozer()
+	if _, err := p.Run(RunConfig{}); err == nil {
+		t.Error("empty run accepted")
+	}
+	prog := asm.NewBuilder("x").Nop(1).MustBuild()
+	if _, err := p.Run(RunConfig{Threads: []ThreadSpec{{Program: prog, Module: 99}}}); err == nil {
+		t.Error("bad placement accepted")
+	}
+	if _, err := p.Run(RunConfig{
+		Threads: []ThreadSpec{{Program: prog}},
+		Dither:  []DitherSpec{{Core: 0, PeriodCycles: 0, PadCycles: 1}},
+	}); err == nil {
+		t.Error("zero dither period accepted")
+	}
+	if _, _, err := p.FindFailureVoltage(RunConfig{Threads: []ThreadSpec{{Program: prog}}}, 2.0); err == nil {
+		t.Error("failure floor above nominal accepted")
+	}
+}
+
+func TestFPThrottleReducesDroop(t *testing.T) {
+	p := Bulldozer()
+	period := resonancePeriodCycles(p)
+	prog := hpLpLoop("res", period/2, period-period/2, 1<<40)
+	base := run4T(t, p, prog, 25000, nil)
+	throttled := run4T(t, p, prog, 25000, func(rc *RunConfig) { rc.FPThrottle = 1 })
+	if throttled.MaxDroopV >= base.MaxDroopV {
+		t.Errorf("FPU throttling should cut the droop: %.4f vs %.4f",
+			throttled.MaxDroopV, base.MaxDroopV)
+	}
+}
+
+func TestPhenomPlatformRuns(t *testing.T) {
+	p := Phenom()
+	period := resonancePeriodCycles(p)
+	// No FMA on the Phenom-style part: build the HP region from mulpd.
+	b := asm.NewBuilder("res-phenom")
+	b.InitToggle(16, 8)
+	b.RI("movimm", isa.RCX, 1<<40)
+	b.Label("loop")
+	for i := 0; i < period/2; i++ {
+		b.RR("mulpd", isa.XMM(i%12), isa.XMM(12+i%4))
+		b.RR("addpd", isa.XMM((i+6)%12), isa.XMM(12+(i+1)%4))
+		b.Nop(1)
+	}
+	b.Nop(3 * (period - period/2))
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	m := run4T(t, p, b.MustBuild(), 20000, nil)
+	if m.MaxDroopV <= 0 {
+		t.Error("no droop on Phenom platform")
+	}
+}
+
+func TestPhenomRejectsFMA(t *testing.T) {
+	p := Phenom()
+	prog := hpLpLoop("fma", 8, 8, 100)
+	threads, _ := SpreadPlacement(p.Chip, prog, 1)
+	if _, err := p.Run(RunConfig{Threads: threads, MaxCycles: 1000}); err == nil {
+		t.Error("FMA program accepted on FMA-less chip")
+	}
+}

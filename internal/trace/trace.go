@@ -1,0 +1,244 @@
+// Package trace provides waveform utilities shared by the measurement
+// stack: summary statistics, droop extraction, a radix-2 FFT and power
+// spectra. Waveforms are plain []float64 sampled at a fixed rate.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Stats summarises a waveform.
+type Stats struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Stddev   float64
+}
+
+// Summarize computes Stats in one pass (Welford for variance).
+func Summarize(w []float64) Stats {
+	s := Stats{N: len(w)}
+	if len(w) == 0 {
+		return s
+	}
+	s.Min, s.Max = w[0], w[0]
+	mean, m2 := 0.0, 0.0
+	for i, x := range w {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+	}
+	s.Mean = mean
+	if len(w) > 1 {
+		s.Stddev = math.Sqrt(m2 / float64(len(w)-1))
+	}
+	return s
+}
+
+// WorstDroop returns the largest positive excursion below nominal, in
+// the same unit as the waveform (volts → volts of droop).
+func WorstDroop(w []float64, nominal float64) float64 {
+	worst := 0.0
+	for _, x := range w {
+		if d := nominal - x; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// WorstOvershoot returns the largest excursion above nominal.
+func WorstOvershoot(w []float64, nominal float64) float64 {
+	worst := 0.0
+	for _, x := range w {
+		if d := x - nominal; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// ArgMin returns the index of the waveform minimum (first occurrence).
+func ArgMin(w []float64) int {
+	if len(w) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range w {
+		if x < w[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x. The
+// length must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("trace: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// Spectrum returns the single-sided amplitude spectrum of a real
+// waveform sampled at rate fs, along with the frequency axis. The
+// input is zero-padded to the next power of two; a Hann window tames
+// leakage. Amplitudes are normalised so a unit-amplitude sinusoid
+// yields ≈1 at its bin.
+func Spectrum(w []float64, fs float64) (freqs, amps []float64, err error) {
+	if len(w) == 0 {
+		return nil, nil, fmt.Errorf("trace: empty waveform")
+	}
+	if fs <= 0 {
+		return nil, nil, fmt.Errorf("trace: sample rate must be positive")
+	}
+	n := 1
+	for n < len(w) {
+		n <<= 1
+	}
+	x := make([]complex128, n)
+	// Hann window over the populated part; coherent gain 0.5.
+	m := len(w)
+	for i := 0; i < m; i++ {
+		win := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(m-1)))
+		if m == 1 {
+			win = 1
+		}
+		x[i] = complex(w[i]*win, 0)
+	}
+	if err := FFT(x); err != nil {
+		return nil, nil, err
+	}
+	half := n / 2
+	freqs = make([]float64, half)
+	amps = make([]float64, half)
+	// Normalise by m/2 (rect) × 0.5 (Hann coherent gain) = m/4... use
+	// 2/(m·0.5) = 4/m for single-sided amplitude.
+	scale := 4.0 / float64(m)
+	for i := 0; i < half; i++ {
+		freqs[i] = fs * float64(i) / float64(n)
+		amps[i] = cmplx.Abs(x[i]) * scale
+	}
+	if half > 0 {
+		amps[0] /= 2 // DC is not doubled
+	}
+	return freqs, amps, nil
+}
+
+// DominantFrequency returns the frequency of the largest non-DC
+// spectral component of w.
+func DominantFrequency(w []float64, fs float64) (float64, error) {
+	freqs, amps, err := Spectrum(w, fs)
+	if err != nil {
+		return 0, err
+	}
+	best, bestAmp := 0, 0.0
+	for i := 1; i < len(amps); i++ {
+		if amps[i] > bestAmp {
+			best, bestAmp = i, amps[i]
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("trace: no non-DC component")
+	}
+	return freqs[best], nil
+}
+
+// DominantFrequencyInBand returns the frequency of the largest
+// spectral component within [lo, hi] Hz. Useful when slow settling
+// transients (second/third droop) would otherwise dominate the
+// spectrum of a first-droop waveform.
+func DominantFrequencyInBand(w []float64, fs, lo, hi float64) (float64, error) {
+	if !(hi > lo) || lo < 0 {
+		return 0, fmt.Errorf("trace: bad band [%g, %g]", lo, hi)
+	}
+	freqs, amps, err := Spectrum(w, fs)
+	if err != nil {
+		return 0, err
+	}
+	best, bestAmp := -1, 0.0
+	for i := 1; i < len(amps); i++ {
+		if freqs[i] < lo || freqs[i] > hi {
+			continue
+		}
+		if amps[i] > bestAmp {
+			best, bestAmp = i, amps[i]
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("trace: no component in band [%g, %g] Hz", lo, hi)
+	}
+	return freqs[best], nil
+}
+
+// Decimate keeps every k-th sample, modelling a lower-rate scope
+// capture of the same signal.
+func Decimate(w []float64, k int) []float64 {
+	if k <= 1 {
+		return append([]float64(nil), w...)
+	}
+	out := make([]float64, 0, len(w)/k+1)
+	for i := 0; i < len(w); i += k {
+		out = append(out, w[i])
+	}
+	return out
+}
+
+// MovingMin computes the minimum over a sliding window of width k,
+// emitting one value per window (non-overlapping). Scope-style min
+// capture at a reduced rate.
+func MovingMin(w []float64, k int) []float64 {
+	if k <= 1 {
+		return append([]float64(nil), w...)
+	}
+	var out []float64
+	for i := 0; i < len(w); i += k {
+		end := i + k
+		if end > len(w) {
+			end = len(w)
+		}
+		m := w[i]
+		for _, x := range w[i:end] {
+			if x < m {
+				m = x
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("stats = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty stats = %+v", z)
+	}
+}
+
+func TestWorstDroopAndOvershoot(t *testing.T) {
+	w := []float64{1.25, 1.20, 1.28, 1.10, 1.26}
+	if d := WorstDroop(w, 1.25); math.Abs(d-0.15) > 1e-12 {
+		t.Errorf("droop = %v", d)
+	}
+	if o := WorstOvershoot(w, 1.25); math.Abs(o-0.03) > 1e-12 {
+		t.Errorf("overshoot = %v", o)
+	}
+	if d := WorstDroop([]float64{2, 3}, 1.0); d != 0 {
+		t.Errorf("droop above nominal = %v, want 0", d)
+	}
+	if i := ArgMin(w); i != 3 {
+		t.Errorf("argmin = %d", i)
+	}
+	if i := ArgMin(nil); i != -1 {
+		t.Errorf("argmin(nil) = %d", i)
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a delta is flat ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Errorf("delta FFT bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 6)); err == nil {
+		t.Error("length 6 accepted")
+	}
+	if err := FFT(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Property: ‖x‖² = ‖X‖²/N.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x := make([]complex128, n)
+		sumT := 0.0
+		for i := range x {
+			re, im := rng.NormFloat64(), rng.NormFloat64()
+			x[i] = complex(re, im)
+			sumT += re*re + im*im
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		sumF := 0.0
+		for _, v := range x {
+			sumF += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(sumT-sumF/float64(n)) < 1e-9*sumT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	fs := 1e9
+	f0 := 100e6
+	n := 4096
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.1 * math.Sin(2*math.Pi*f0*float64(i)/fs)
+	}
+	got, err := DominantFrequency(w, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-f0)/f0 > 0.02 {
+		t.Errorf("dominant frequency %v, want ≈ %v", got, f0)
+	}
+}
+
+func TestSpectrumAmplitudeScale(t *testing.T) {
+	fs := 1e9
+	f0 := fs / 16 // exactly on a bin for n=4096
+	n := 4096
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 2.0 * math.Sin(2*math.Pi*f0*float64(i)/fs)
+	}
+	freqs, amps, err := Spectrum(w, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestAmp := 0, 0.0
+	for i := 1; i < len(amps); i++ {
+		if amps[i] > bestAmp {
+			best, bestAmp = i, amps[i]
+		}
+	}
+	if math.Abs(freqs[best]-f0)/f0 > 0.01 {
+		t.Errorf("peak at %v, want %v", freqs[best], f0)
+	}
+	if math.Abs(bestAmp-2.0)/2.0 > 0.05 {
+		t.Errorf("peak amplitude %v, want ≈ 2.0", bestAmp)
+	}
+}
+
+func TestDominantFrequencyInBand(t *testing.T) {
+	fs := 1e9
+	n := 4096
+	w := make([]float64, n)
+	for i := range w {
+		// Big slow drift + small 100 MHz ripple.
+		w[i] = 0.5*math.Sin(2*math.Pi*1e6*float64(i)/fs) +
+			0.05*math.Sin(2*math.Pi*100e6*float64(i)/fs)
+	}
+	got, err := DominantFrequencyInBand(w, fs, 50e6, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100e6)/100e6 > 0.05 {
+		t.Errorf("band-limited dominant = %v, want 100 MHz", got)
+	}
+	if _, err := DominantFrequencyInBand(w, fs, 200e6, 50e6); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := DominantFrequencyInBand(w, fs, 0.4e9, 0.49e9); err != nil {
+		t.Errorf("valid empty-ish band errored unexpectedly: %v", err)
+	}
+}
+
+func TestSpectrumErrors(t *testing.T) {
+	if _, _, err := Spectrum(nil, 1e9); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, _, err := Spectrum([]float64{1}, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	w := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Decimate(w, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("decimate = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("decimate[%d] = %v", i, got[i])
+		}
+	}
+	same := Decimate(w, 1)
+	if len(same) != len(w) {
+		t.Errorf("k=1 should copy: %v", same)
+	}
+	// Must be a copy, not an alias.
+	same[0] = 99
+	if w[0] == 99 {
+		t.Error("Decimate aliased its input")
+	}
+}
+
+func TestMovingMin(t *testing.T) {
+	w := []float64{5, 1, 4, 2, 9, 0, 7}
+	got := MovingMin(w, 3)
+	want := []float64{1, 0, 7}
+	if len(got) != len(want) {
+		t.Fatalf("movingmin = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("movingmin[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickMovingMinNeverAboveSource(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := 1 + int(kRaw%8)
+		mins := MovingMin(raw, k)
+		for i, m := range mins {
+			lo := i * k
+			if k == 1 {
+				lo = i
+			}
+			hi := lo + k
+			if hi > len(raw) {
+				hi = len(raw)
+			}
+			for _, x := range raw[lo:hi] {
+				if m > x {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)/7), 0)
+	}
+	scratch := make([]complex128, len(x))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, x)
+		if err := FFT(scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

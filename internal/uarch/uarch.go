@@ -1,0 +1,193 @@
+// Package uarch holds machine descriptions for the cycle-level CPU
+// model: a Bulldozer-style chip (four modules, two integer cores per
+// module sharing a front end and a two-pipe FPU — the configuration of
+// the paper's primary test system) and a Phenom-II-style chip (four
+// independent cores, no shared resources), used in §5.C to show AUDIT
+// adapting to a different processor on the same board.
+package uarch
+
+import "fmt"
+
+// ChipConfig describes one processor. All widths are per clock cycle.
+type ChipConfig struct {
+	Name    string
+	ClockHz float64
+
+	// Topology. A "core" is an integer cluster running one thread
+	// (Bulldozer terminology); threads = Modules × CoresPerModule.
+	Modules        int
+	CoresPerModule int
+
+	// SharedFrontEnd: sibling cores in a module alternate decode
+	// cycles (Bulldozer). When false each core has a private decoder.
+	SharedFrontEnd bool
+	// SharedFPU: sibling cores issue into one FP/SIMD scheduler with
+	// NumFPPipes pipes (Bulldozer). When false each core has its own
+	// NumFPPipes pipes.
+	SharedFPU bool
+
+	// Front end.
+	DecodeWidth   int
+	BranchPenalty int
+	// Predictor selects the branch predictor: "static" (backward taken,
+	// forward not-taken — the default when empty) or "gshare" (global
+	// history XOR PC into 2-bit counters).
+	Predictor string
+
+	// HasFMA marks support for fused multiply-add instructions. The
+	// older Phenom-style part lacks them, which is why the paper could
+	// not run SM1 on it (§5.C).
+	HasFMA bool
+
+	// Integer cluster resources (per core).
+	// IntDispatch caps non-NOP integer/memory uops entering the core's
+	// scheduler per cycle (rename/dispatch ports). NOPs bypass dispatch
+	// — the hazard behind the §5.A.5 NOP ablation.
+	IntDispatch int
+	// FPDispatch caps FP/SIMD uops entering the FP scheduler per cycle
+	// per core.
+	FPDispatch int
+	NumALU     int
+	NumAGU     int
+	LSUPorts   int
+	// MSHRs bounds outstanding cache misses per core; a miss occupies
+	// one entry until its fill completes.
+	MSHRs       int
+	IntQueue    int // scheduler entries; stands in for PRF/ROB limits too
+	LSQ         int
+	ResultBuses int // register-file write ports per core per cycle
+
+	// FP cluster resources (per module if shared, else per core).
+	NumFPPipes int
+	FPQueue    int
+
+	// FPThrottleLimit caps FP issues per cycle (per module when the FPU
+	// is shared). 0 disables throttling. This is the mitigation knob of
+	// Table 2.
+	FPThrottleLimit int
+
+	// Cache hierarchy. L1 per core, L2 per module, L3 per chip.
+	LineBytes                   int
+	L1Bytes, L1Ways             int
+	L2Bytes, L2Ways             int
+	L3Bytes, L3Ways             int
+	L1Lat, L2Lat, L3Lat, MemLat int
+}
+
+// Validate checks structural sanity.
+func (c ChipConfig) Validate() error {
+	bad := func(what string) error { return fmt.Errorf("uarch: %s: bad %s", c.Name, what) }
+	switch {
+	case c.ClockHz <= 0:
+		return bad("ClockHz")
+	case c.Modules < 1 || c.CoresPerModule < 1:
+		return bad("topology")
+	case c.DecodeWidth < 1:
+		return bad("DecodeWidth")
+	case c.NumALU < 1 || c.NumAGU < 0 || c.LSUPorts < 1 || c.MSHRs < 1:
+		return bad("integer resources")
+	case c.IntDispatch < 1 || c.FPDispatch < 1:
+		return bad("dispatch widths")
+	case c.IntQueue < 4 || c.LSQ < 2 || c.FPQueue < 4:
+		return bad("queue sizes")
+	case c.ResultBuses < 1:
+		return bad("ResultBuses")
+	case c.NumFPPipes < 1:
+		return bad("NumFPPipes")
+	case c.FPThrottleLimit < 0:
+		return bad("FPThrottleLimit")
+	case c.BranchPenalty < 0:
+		return bad("BranchPenalty")
+	case c.Predictor != "" && c.Predictor != "static" && c.Predictor != "gshare":
+		return bad("Predictor")
+	case c.LineBytes < 16 || c.LineBytes&(c.LineBytes-1) != 0:
+		return bad("LineBytes")
+	case c.L1Bytes < c.LineBytes || c.L2Bytes < c.L1Bytes || c.L3Bytes < c.L2Bytes:
+		return bad("cache sizes")
+	case c.L1Ways < 1 || c.L2Ways < 1 || c.L3Ways < 1:
+		return bad("cache ways")
+	case !(c.L1Lat > 0 && c.L2Lat > c.L1Lat && c.L3Lat > c.L2Lat && c.MemLat > c.L3Lat):
+		return bad("latency ordering")
+	}
+	return nil
+}
+
+// Threads returns the number of hardware threads (= cores).
+func (c ChipConfig) Threads() int { return c.Modules * c.CoresPerModule }
+
+// CycleSeconds returns the clock period.
+func (c ChipConfig) CycleSeconds() float64 { return 1 / c.ClockHz }
+
+// Bulldozer returns the primary evaluation processor: four two-core
+// modules at 3.6 GHz, 2 MB L2 per module, 8 MB shared L3, shared
+// front end and shared 2×128-bit FPU per module (per [2][4] in the
+// paper).
+func Bulldozer() ChipConfig {
+	return ChipConfig{
+		Name:           "bulldozer",
+		ClockHz:        3.6e9,
+		Modules:        4,
+		CoresPerModule: 2,
+		SharedFrontEnd: true,
+		SharedFPU:      true,
+		HasFMA:         true,
+		DecodeWidth:    4,
+		BranchPenalty:  14,
+		IntDispatch:    2,
+		FPDispatch:     2,
+		// One general ALU pipe: the module's second integer pipe is
+		// modelled by the dedicated branch and multiply units, matching
+		// the EX0/EX1 split. This scarcity is what makes dense
+		// independent-ADD sequences stretch a loop that NOPs leave
+		// tight (§5.A.5).
+		NumALU:      1,
+		NumAGU:      2,
+		LSUPorts:    2,
+		MSHRs:       8,
+		IntQueue:    20,
+		LSQ:         24,
+		ResultBuses: 3,
+		NumFPPipes:  2,
+		FPQueue:     48,
+		LineBytes:   64,
+		L1Bytes:     16 << 10, L1Ways: 4,
+		L2Bytes: 2 << 20, L2Ways: 16,
+		L3Bytes: 8 << 20, L3Ways: 16,
+		L1Lat: 4, L2Lat: 20, L3Lat: 45, MemLat: 190,
+	}
+}
+
+// Phenom returns the 45 nm Phenom-II-style secondary processor: four
+// independent cores, private caches per core (we keep a chip L3 as its
+// shared L3), no SMT, narrower FP, and a slower clock. Its power swing
+// between idle and busy is smaller than Bulldozer's (§5.C: "less
+// variation between high- and low-power regions because it does not
+// manage power as aggressively").
+func Phenom() ChipConfig {
+	return ChipConfig{
+		Name:           "phenom",
+		ClockHz:        3.0e9,
+		Modules:        4,
+		CoresPerModule: 1,
+		SharedFrontEnd: false,
+		SharedFPU:      false,
+		DecodeWidth:    3,
+		BranchPenalty:  12,
+		IntDispatch:    3,
+		FPDispatch:     2,
+		NumALU:         3,
+		NumAGU:         2,
+		LSUPorts:       2,
+		MSHRs:          8,
+		IntQueue:       18,
+		LSQ:            16,
+		ResultBuses:    3,
+		NumFPPipes:     2,
+		FPQueue:        36,
+		LineBytes:      64,
+		L1Bytes:        64 << 10, L1Ways: 2,
+		L2Bytes: 512 << 10, L2Ways: 16,
+		L3Bytes: 6 << 20, L3Ways: 48,
+		L1Lat: 3, L2Lat: 15, L3Lat: 40, MemLat: 170,
+	}
+}

@@ -1,0 +1,73 @@
+package uarch
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []ChipConfig{Bulldozer(), Phenom()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesEveryField(t *testing.T) {
+	breakers := []func(*ChipConfig){
+		func(c *ChipConfig) { c.ClockHz = 0 },
+		func(c *ChipConfig) { c.Modules = 0 },
+		func(c *ChipConfig) { c.CoresPerModule = 0 },
+		func(c *ChipConfig) { c.DecodeWidth = 0 },
+		func(c *ChipConfig) { c.IntDispatch = 0 },
+		func(c *ChipConfig) { c.FPDispatch = 0 },
+		func(c *ChipConfig) { c.NumALU = 0 },
+		func(c *ChipConfig) { c.LSUPorts = 0 },
+		func(c *ChipConfig) { c.MSHRs = 0 },
+		func(c *ChipConfig) { c.IntQueue = 1 },
+		func(c *ChipConfig) { c.LSQ = 0 },
+		func(c *ChipConfig) { c.FPQueue = 1 },
+		func(c *ChipConfig) { c.ResultBuses = 0 },
+		func(c *ChipConfig) { c.NumFPPipes = 0 },
+		func(c *ChipConfig) { c.FPThrottleLimit = -1 },
+		func(c *ChipConfig) { c.BranchPenalty = -1 },
+		func(c *ChipConfig) { c.LineBytes = 48 },
+		func(c *ChipConfig) { c.L1Bytes = 8 },
+		func(c *ChipConfig) { c.L1Ways = 0 },
+		func(c *ChipConfig) { c.L2Lat = c.L1Lat },
+		func(c *ChipConfig) { c.MemLat = 0 },
+	}
+	for i, breakIt := range breakers {
+		cfg := Bulldozer()
+		breakIt(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("breaker %d produced a config that still validates", i)
+		}
+	}
+}
+
+func TestBulldozerTopology(t *testing.T) {
+	cfg := Bulldozer()
+	if cfg.Threads() != 8 {
+		t.Errorf("threads = %d, want 8 (four modules × two cores)", cfg.Threads())
+	}
+	if !cfg.SharedFrontEnd || !cfg.SharedFPU {
+		t.Error("Bulldozer must share front end and FPU within a module")
+	}
+	if !cfg.HasFMA {
+		t.Error("Bulldozer supports FMA")
+	}
+	if cfg.CycleSeconds() <= 0 {
+		t.Error("bad cycle time")
+	}
+}
+
+func TestPhenomTopology(t *testing.T) {
+	cfg := Phenom()
+	if cfg.Threads() != 4 {
+		t.Errorf("threads = %d, want 4", cfg.Threads())
+	}
+	if cfg.SharedFrontEnd || cfg.SharedFPU {
+		t.Error("Phenom cores are independent")
+	}
+	if cfg.HasFMA {
+		t.Error("the 45 nm part lacks FMA (why SM1 cannot run, §5.C)")
+	}
+}

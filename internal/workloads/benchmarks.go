@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Workload is one comparison benchmark.
+type Workload struct {
+	// Name matches the benchmark the kernel models.
+	Name string
+	// Suite is "SPEC" or "PARSEC".
+	Suite string
+	// Program is the kernel (trip count effectively unbounded; runs are
+	// cycle-limited by the testbed).
+	Program *asm.Program
+	// Barriers marks PARSEC-style kernels whose threads synchronise.
+	Barriers bool
+}
+
+const unbounded = int64(1) << 40
+
+// branchy returns an emitter whose forward-taken branches defeat the
+// static predictor every time — the pipeline-restart activity steps
+// that give integer codes their di/dt signature (§5.A.1: "pipeline
+// recovery after a branch misprediction stall").
+func branchy(prefix string) emitter {
+	n := 0
+	return func(b *asm.Builder, cyc int) {
+		n++
+		lbl := fmt.Sprintf("%s%d", prefix, n)
+		b.RR("or", isa.GPR(8+cyc%8), isa.RSI) // nonzero → jnz taken
+		b.Branch("jnz", lbl)
+		b.Nop(1)
+		b.Label(lbl)
+		b.RR("add", isa.GPR(8+(cyc+1)%8), isa.GPR(6+cyc%2))
+	}
+}
+
+// SPEC returns the SPEC-CPU2006-style single-threaded kernels. The
+// phase structure gives each its droop character; zeusmp's burst period
+// sits near the first-droop resonance, which is why it tops the
+// benchmark droops in Fig. 9(a) and appears in Table 1 and Fig. 10.
+func SPEC() []Workload {
+	return []Workload{
+		{Name: "perlbench", Suite: "SPEC", Program: phasedLoop("perlbench", unbounded, 64<<10, false, []Phase{
+			{intDense, 40}, {branchy("pl"), 5}, {mixed, 30},
+		})},
+		{Name: "bzip2", Suite: "SPEC", Program: phasedLoop("bzip2", unbounded, 1<<20, false, []Phase{
+			{intDense, 50}, {memStream(4096), 30}, {branchy("bz"), 4},
+		})},
+		{Name: "gcc", Suite: "SPEC", Program: phasedLoop("gcc", unbounded, 2<<20, false, []Phase{
+			{mixed, 60}, {branchy("gc"), 8}, {idle, 10},
+		})},
+		{Name: "mcf", Suite: "SPEC", Program: phasedLoop("mcf", unbounded, 32<<20, false, []Phase{
+			{pointerChase, 80}, {idle, 8},
+		})},
+		{Name: "milc", Suite: "SPEC", Program: phasedLoop("milc", unbounded, 8<<20, false, []Phase{
+			{fpDense, 30}, {memStream(8192), 30},
+		})},
+		{Name: "namd", Suite: "SPEC", Program: phasedLoop("namd", unbounded, 512<<10, false, []Phase{
+			{scalarFP, 120},
+		})},
+		{Name: "hmmer", Suite: "SPEC", Program: phasedLoop("hmmer", unbounded, 256<<10, false, []Phase{
+			{intDense, 80}, {mixed, 20},
+		})},
+		{Name: "libquantum", Suite: "SPEC", Program: phasedLoop("libquantum", unbounded, 16<<20, false, []Phase{
+			{simdDense, 24}, {memStream(8192), 24},
+		})},
+		{Name: "lbm", Suite: "SPEC", Program: phasedLoop("lbm", unbounded, 16<<20, false, []Phase{
+			{fpDense, 20}, {memStream(16384), 40},
+		})},
+		{Name: "zeusmp", Suite: "SPEC", Program: phasedLoop("zeusmp", unbounded, 4<<20, false, []Phase{
+			// A long steady stretch (tight Vdd distribution — Fig. 10
+			// shows zeusmp with the least voltage variation) punctuated
+			// by a short FP burst train whose period sits in the skirt
+			// of the first-droop resonance: rare but deep droops that
+			// make zeusmp the droopiest standard benchmark.
+			{scalarFP, 320},
+			{fpDense, 18}, {idle, 11},
+			{fpDense, 18}, {idle, 11},
+			{fpDense, 18}, {idle, 11},
+			{fpDense, 18}, {idle, 11},
+		})},
+		{Name: "cactusADM", Suite: "SPEC", Program: phasedLoop("cactusADM", unbounded, 8<<20, false, []Phase{
+			{fpDense, 40}, {memStream(8192), 20}, {idle, 5},
+		})},
+		{Name: "GemsFDTD", Suite: "SPEC", Program: phasedLoop("GemsFDTD", unbounded, 8<<20, false, []Phase{
+			{fpDense, 30}, {memStream(8192), 30}, {idle, 6},
+		})},
+	}
+}
+
+// PARSEC returns the PARSEC-style multi-threaded kernels. Barrier
+// workloads synchronise all running threads each outer iteration —
+// the global-sync structure [16] flagged as a droop amplifier, which
+// §5.A.1 finds dampened on this machine by barrier-release skew.
+func PARSEC() []Workload {
+	return []Workload{
+		{Name: "blackscholes", Suite: "PARSEC", Barriers: true, Program: phasedLoop("blackscholes", unbounded, 1<<20, true, []Phase{
+			{scalarFP, 200},
+		})},
+		{Name: "bodytrack", Suite: "PARSEC", Barriers: true, Program: phasedLoop("bodytrack", unbounded, 4<<20, true, []Phase{
+			{mixed, 80}, {memStream(4096), 30},
+		})},
+		{Name: "fluidanimate", Suite: "PARSEC", Barriers: true, Program: phasedLoop("fluidanimate", unbounded, 8<<20, true, []Phase{
+			{fpDense, 20}, {memStream(8192), 50}, {idle, 6},
+		})},
+		{Name: "streamcluster", Suite: "PARSEC", Barriers: true, Program: phasedLoop("streamcluster", unbounded, 16<<20, true, []Phase{
+			{memStream(8192), 60}, {intDense, 30},
+		})},
+		{Name: "swaptions", Suite: "PARSEC", Program: phasedLoop("swaptions", unbounded, 512<<10, false, []Phase{
+			// Compute-heavy with near-resonant bursts: the droopiest
+			// PARSEC kernel (paired with zeusmp in Table 1).
+			{fpDense, 18}, {idle, 9}, {scalarFP, 4},
+		})},
+		{Name: "canneal", Suite: "PARSEC", Program: phasedLoop("canneal", unbounded, 32<<20, false, []Phase{
+			{pointerChase, 70}, {idle, 10},
+		})},
+	}
+}
+
+// All returns SPEC then PARSEC.
+func All() []Workload {
+	return append(SPEC(), PARSEC()...)
+}
+
+// ByName finds a workload in All().
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}

@@ -1,0 +1,163 @@
+// Package workloads provides the comparison programs of the paper's
+// evaluation: synthetic kernels with the activity shape of the SPEC
+// CPU2006 and PARSEC benchmarks it measures (Fig. 9a, Fig. 10), the
+// manually engineered stressmarks SM1, SM2 and SM-Res (Fig. 9b, Tables
+// 1–3), and the barrier stressmark of §5.A.1. The binaries themselves
+// are not reproducible — they are commercial suites compiled for real
+// x86 — so each kernel is built from the phase structure that gives the
+// original its di/dt signature: instruction mix, burst period, memory
+// footprint, branch behaviour and synchronisation.
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// emitter writes one cycle's worth of work (up to the machine width,
+// nominally 4 slots) into the builder. cyc individualises registers and
+// addresses across cycles.
+type emitter func(b *asm.Builder, cyc int)
+
+// Phase is a run of cycles sharing one emitter.
+type Phase struct {
+	Emit   emitter
+	Cycles int
+}
+
+// phasedLoop builds the standard workload skeleton: an outer loop of
+// phases, optionally ending in a barrier (PARSEC-style global sync).
+func phasedLoop(name string, iters int64, memBytes int, barrier bool, phases []Phase) *asm.Program {
+	b := asm.NewBuilder(name)
+	b.SetMem(memBytes)
+	b.InitToggle(16, 8)
+	b.RI("movimm", isa.RCX, iters)
+	b.RI("movimm", isa.RBP, 0)
+	b.Label("loop")
+	cyc := 0
+	for _, ph := range phases {
+		for i := 0; i < ph.Cycles; i++ {
+			ph.Emit(b, cyc)
+			cyc++
+		}
+	}
+	if barrier {
+		b.Barrier(1)
+	}
+	b.RR("dec", isa.RCX, isa.RCX)
+	b.Branch("jnz", "loop")
+	return b.MustBuild()
+}
+
+// ---- per-cycle emitters ----
+
+// fpDense: two packed-FP ops per cycle — the FPU-saturating pattern.
+func fpDense(b *asm.Builder, cyc int) {
+	d1 := isa.XMM(cyc % 12)
+	d2 := isa.XMM((cyc + 6) % 12)
+	s1 := isa.XMM(12 + cyc%2)
+	s2 := isa.XMM(14 + cyc%2)
+	if cyc%2 == 0 {
+		b.RR("mulpd", d1, s1)
+		b.RR("addpd", d2, s2)
+	} else {
+		b.RR("mulps", d1, s2)
+		b.RR("addpd", d2, s1)
+	}
+	b.Nop(2)
+}
+
+// fmaDense: the maximum-power pattern (FMA pipes saturated).
+func fmaDense(b *asm.Builder, cyc int) {
+	b.RRR("vfmadd132pd", isa.XMM(cyc%12), isa.XMM(12+cyc%2), isa.XMM(14+cyc%2))
+	b.RRR("vfmadd132pd", isa.XMM((cyc+6)%12), isa.XMM(13-cyc%2), isa.XMM(15-cyc%2))
+	b.Nop(2)
+}
+
+// simdDense: packed-integer SIMD pressure.
+func simdDense(b *asm.Builder, cyc int) {
+	b.RR("pmulld", isa.XMM(cyc%12), isa.XMM(12+cyc%2))
+	b.RR("paddd", isa.XMM((cyc+6)%12), isa.XMM(14+cyc%2))
+	b.Nop(2)
+}
+
+// intDense: ALU-saturating integer work.
+func intDense(b *asm.Builder, cyc int) {
+	b.RR("add", isa.GPR(8+cyc%8), isa.GPR(6+cyc%2))
+	b.RR("xor", isa.GPR(8+(cyc+3)%8), isa.GPR(6+(cyc+1)%2))
+	b.Nop(2)
+}
+
+// scalarFP: modest scalar FP (namd/povray-style steady compute).
+func scalarFP(b *asm.Builder, cyc int) {
+	b.RR("mulsd", isa.XMM(cyc%12), isa.XMM(12+cyc%2))
+	b.RR("add", isa.GPR(8+cyc%8), isa.GPR(6+cyc%2))
+	b.Nop(2)
+}
+
+// memStream: streaming loads marching through the footprint; stride one
+// cache line per load so big footprints miss.
+func memStream(stride int32) emitter {
+	return func(b *asm.Builder, cyc int) {
+		b.Load("load", isa.GPR(8+cyc%4), isa.RBP, int32(cyc%64)*64)
+		b.RR("add", isa.RSI, isa.GPR(8+cyc%4))
+		if cyc%8 == 7 {
+			b.Load("lea", isa.RBP, isa.RBP, stride)
+			b.Nop(1)
+		} else {
+			b.Nop(2)
+		}
+	}
+}
+
+// pointerChase: dependent loads (mcf-style): each address depends on
+// the previous loaded value, so memory-level parallelism collapses and
+// the walk strides cold through the footprint.
+func pointerChase(b *asm.Builder, cyc int) {
+	b.Load("load", isa.RAX, isa.RBP, int32(cyc%8)*64)
+	// Serialise the walk on the load's value, then jump a large odd
+	// number of lines so successive accesses land in cold sets.
+	b.RR("add", isa.RBP, isa.RAX)
+	b.Load("lea", isa.RBP, isa.RBP, 4793*64)
+	b.Nop(1)
+}
+
+// idle: pure NOPs (the low-power side of bursty codes).
+func idle(b *asm.Builder, cyc int) {
+	b.Nop(4)
+}
+
+// divider: long-latency divides — exercises the IDiv critical path.
+func divider(b *asm.Builder, cyc int) {
+	if cyc%8 == 0 {
+		b.RR("idiv", isa.GPR(8+cyc%4), isa.GPR(6+cyc%2))
+		b.Nop(3)
+	} else {
+		b.RR("add", isa.GPR(8+cyc%8), isa.GPR(6+cyc%2))
+		b.Nop(3)
+	}
+}
+
+// storeHeavy: store traffic through the LSU.
+func storeHeavy(b *asm.Builder, cyc int) {
+	b.Store("store", isa.RBP, int32(cyc%32)*64, isa.GPR(8+cyc%8))
+	b.RR("add", isa.GPR(8+cyc%8), isa.GPR(6+cyc%2))
+	b.Nop(2)
+}
+
+// mixed: int + FP + memory together (gcc/h264-style).
+func mixed(b *asm.Builder, cyc int) {
+	switch cyc % 3 {
+	case 0:
+		b.RR("add", isa.GPR(8+cyc%8), isa.GPR(6+cyc%2))
+		b.RR("mulsd", isa.XMM(cyc%12), isa.XMM(12+cyc%2))
+		b.Nop(2)
+	case 1:
+		b.Load("load", isa.GPR(8+cyc%4), isa.RBP, int32(cyc%32)*64)
+		b.RR("xor", isa.GPR(12+cyc%4), isa.GPR(6+cyc%2))
+		b.Nop(2)
+	default:
+		b.RR("imul", isa.GPR(8+cyc%8), isa.GPR(6+cyc%2))
+		b.Nop(3)
+	}
+}

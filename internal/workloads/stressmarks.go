@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// DefaultLoopCycles is the Bulldozer platform's first-droop period in
+// clock cycles (3.6 GHz / ≈100 MHz). The manual stressmarks were tuned
+// by their engineers to the measured resonance, so the constructors
+// take the loop length explicitly; this is the right value for the
+// primary platform.
+const DefaultLoopCycles = 36
+
+// SMRes is the hand-generated resonant stressmark: "regular in using
+// floating-point and SIMD instructions during the high-power phase of
+// the loop" (§5.A.5). It alternates FMA and packed-SIMD cycles for the
+// high half of the resonance period, then NOPs.
+func SMRes(loopCycles int) *asm.Program {
+	h := loopCycles / 2
+	l := loopCycles - h - 1
+	var phases []Phase
+	phases = append(phases, Phase{func(b *asm.Builder, cyc int) {
+		if cyc%2 == 0 {
+			fmaDense(b, cyc)
+		} else {
+			simdDense(b, cyc)
+		}
+	}, h})
+	phases = append(phases, Phase{idle, l})
+	return phasedLoop("SM-Res", unbounded, 4096, false, phases)
+}
+
+// SM1 is the legacy stressmark "collected from past di/dt issues": it
+// contains both single-droop excitations and resonant sections (§5.A.2)
+// plus a memory-stress tail. Strong, but not purpose-built for this
+// PDN's resonance, so it trails the resonant marks in Fig. 9(b).
+func SM1(loopCycles int) *asm.Program {
+	p := loopCycles
+	var phases []Phase
+	// Section A: first-droop excitation — a long quiet stretch, then a
+	// hard onset of maximum-power work.
+	phases = append(phases, Phase{idle, 3 * p})
+	phases = append(phases, Phase{fmaDense, 2 * p})
+	// Section B: a resonant burst train at the PDN period — strong,
+	// though its packed-FP pattern has less swing than SM-Res's
+	// FMA/SIMD mix.
+	for rep := 0; rep < 6; rep++ {
+		phases = append(phases, Phase{fpDense, p / 2})
+		phases = append(phases, Phase{idle, p - p/2 - 1})
+	}
+	// Section C: LSU stress.
+	phases = append(phases, Phase{storeHeavy, p})
+	phases = append(phases, Phase{memStream(4096), p})
+	return phasedLoop("SM1", unbounded, 1<<20, false, phases)
+}
+
+// SM2 is the sensitive-path stressmark: its droop is comparable to the
+// standard benchmarks, yet it fails at a much higher voltage because it
+// exercises the divider and load/store critical paths exactly when its
+// (moderate) resonant droop bottoms out (§5.A.4: "SM2, unlike the
+// benchmarks, is designed to exercise sensitive paths in the
+// architecture").
+func SM2(loopCycles int) *asm.Program {
+	h := loopCycles / 2
+	l := loopCycles - h - 1
+	var phases []Phase
+	// Moderate-power HP region: scalar FP plus divider and store
+	// traffic — roughly benchmark-level current swing, but with the
+	// IDiv/LSU paths live throughout.
+	phases = append(phases, Phase{func(b *asm.Builder, cyc int) {
+		switch cyc % 4 {
+		case 0:
+			divider(b, cyc)
+		case 1:
+			storeHeavy(b, cyc)
+		default:
+			fpDense(b, cyc)
+		}
+	}, h})
+	phases = append(phases, Phase{idle, l})
+	return phasedLoop("SM2", unbounded, 64<<10, false, phases)
+}
+
+// BarrierVirus is the barrier stressmark of §5.A.1: all threads
+// synchronise, idle briefly at the barrier, then blast the high-power
+// virus together. On hardware the expected giant droop failed to
+// materialise because the barrier release reaches each core at a
+// different time; the testbed models exactly that release skew.
+func BarrierVirus(loopCycles int) *asm.Program {
+	p := loopCycles
+	var phases []Phase
+	phases = append(phases, Phase{fmaDense, 2 * p})
+	phases = append(phases, Phase{idle, p})
+	return phasedLoop("barrier-virus", unbounded, 4096, true, phases)
+}
+
+// PowerVirus is a maximum-sustained-power loop (no resonant structure):
+// big IR drop and a single onset excitation, then steady state.
+func PowerVirus() *asm.Program {
+	return phasedLoop("power-virus", unbounded, 4096, false, []Phase{
+		{fmaDense, 64},
+	})
+}
+
+// UsesFMA reports whether a program contains FMA instructions —
+// SM1 and other FMA-bearing marks cannot run on the Phenom-style chip,
+// mirroring §5.C: "We were unable to run SM1 on the older processor due
+// to incompatible instructions."
+func UsesFMA(p *asm.Program) bool {
+	for i := range p.Code {
+		if p.Code[i].Op.Class == isa.ClassFMA {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/testbed"
+)
+
+func TestAllProgramsValidate(t *testing.T) {
+	for _, w := range All() {
+		if err := w.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.Program.Name != w.Name {
+			t.Errorf("workload %q program named %q", w.Name, w.Program.Name)
+		}
+		// Every kernel must reassemble from its own text form.
+		if _, err := asm.Parse(w.Program.Text()); err != nil {
+			t.Errorf("%s does not reassemble: %v", w.Name, err)
+		}
+	}
+	for _, mk := range []*asm.Program{SM1(DefaultLoopCycles), SM2(DefaultLoopCycles), SMRes(DefaultLoopCycles), BarrierVirus(DefaultLoopCycles), PowerVirus()} {
+		if err := mk.Validate(); err != nil {
+			t.Errorf("%s: %v", mk.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("zeusmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Suite != "SPEC" {
+		t.Errorf("zeusmp suite = %q", w.Suite)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSuitesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	if len(SPEC()) < 10 {
+		t.Errorf("SPEC suite too small: %d", len(SPEC()))
+	}
+	if len(PARSEC()) < 5 {
+		t.Errorf("PARSEC suite too small: %d", len(PARSEC()))
+	}
+}
+
+func TestFMADetection(t *testing.T) {
+	if !UsesFMA(SM1(36)) {
+		t.Error("SM1 should contain FMA (it cannot run on Phenom)")
+	}
+	if UsesFMA(SM2(36)) {
+		t.Error("SM2 must avoid FMA (it runs on Phenom in Table 3)")
+	}
+	zeusmp, _ := ByName("zeusmp")
+	if UsesFMA(zeusmp.Program) {
+		t.Error("zeusmp must avoid FMA (it runs on Phenom in Table 3)")
+	}
+}
+
+// droop4T measures a 4T droop on the Bulldozer platform.
+func droop4T(t *testing.T, prog *asm.Program) float64 {
+	t.Helper()
+	p := testbed.Bulldozer()
+	threads, err := testbed.SpreadPlacement(p.Chip, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Run(testbed.RunConfig{Threads: threads, MaxCycles: 28000, WarmupCycles: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.MaxDroopV
+}
+
+func TestStressmarkDominanceOrdering(t *testing.T) {
+	smRes := droop4T(t, SMRes(DefaultLoopCycles))
+	sm1 := droop4T(t, SM1(DefaultLoopCycles))
+	sm2 := droop4T(t, SM2(DefaultLoopCycles))
+	zeusmp, _ := ByName("zeusmp")
+	zm := droop4T(t, zeusmp.Program)
+	namd, _ := ByName("namd")
+	nd := droop4T(t, namd.Program)
+
+	// Fig. 9 shape: SM-Res ≫ SM1 > benchmarks; SM2 ≈ benchmarks;
+	// zeusmp tops the steady benchmarks.
+	if !(smRes > sm1) {
+		t.Errorf("SM-Res (%.4f) should beat SM1 (%.4f)", smRes, sm1)
+	}
+	if !(sm1 > zm) {
+		t.Errorf("SM1 (%.4f) should beat zeusmp (%.4f)", sm1, zm)
+	}
+	if !(zm > nd) {
+		t.Errorf("zeusmp (%.4f) should beat namd (%.4f)", zm, nd)
+	}
+	if sm2 > sm1 {
+		t.Errorf("SM2 (%.4f) should not beat SM1 (%.4f)", sm2, sm1)
+	}
+	// SM2's droop is benchmark-class: within 2× of zeusmp either way.
+	if sm2 > 2*zm || sm2 < zm/2 {
+		t.Errorf("SM2 droop %.4f not benchmark-class (zeusmp %.4f)", sm2, zm)
+	}
+}
+
+func TestSM2FailsAboveZeusmpDespiteSimilarDroop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure search is slow")
+	}
+	p := testbed.Bulldozer()
+	vf := func(prog *asm.Program) float64 {
+		threads, _ := testbed.SpreadPlacement(p.Chip, prog, 4)
+		rc := testbed.RunConfig{Threads: threads, MaxCycles: 22000, WarmupCycles: 3000}
+		v, ok, err := p.FindFailureVoltage(rc, p.Nominal()-0.28)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s never failed", prog.Name)
+		}
+		return v
+	}
+	zeusmp, _ := ByName("zeusmp")
+	vSM2 := vf(SM2(DefaultLoopCycles))
+	vZm := vf(zeusmp.Program)
+	// Table 1: SM2 fails 38 mV above zeusmp despite a comparable droop,
+	// because it exercises the sensitive divider/LSU paths.
+	if vSM2 <= vZm {
+		t.Errorf("SM2 failure voltage %.4f should exceed zeusmp's %.4f", vSM2, vZm)
+	}
+}
+
+func TestBarrierVirusRunsMultiThreaded(t *testing.T) {
+	p := testbed.Bulldozer()
+	prog := BarrierVirus(DefaultLoopCycles)
+	threads, err := testbed.SpreadPlacement(p.Chip, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Run(testbed.RunConfig{Threads: threads, MaxCycles: 20000, WarmupCycles: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retired == 0 {
+		t.Fatal("barrier virus made no progress (deadlock?)")
+	}
+	if m.MaxDroopV <= 0 {
+		t.Error("no droop")
+	}
+}
+
+func TestPARSECBarrierWorkloadsProgress(t *testing.T) {
+	p := testbed.Bulldozer()
+	for _, w := range PARSEC() {
+		if !w.Barriers {
+			continue
+		}
+		threads, err := testbed.SpreadPlacement(p.Chip, w.Program, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := p.Run(testbed.RunConfig{Threads: threads, MaxCycles: 15000, WarmupCycles: 1000})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if m.Retired < 1000 {
+			t.Errorf("%s: barely progressed (%d instrs) — barrier deadlock?", w.Name, m.Retired)
+		}
+	}
+}
+
+// Characteristic checks: each kernel must show the microarchitectural
+// signature of the benchmark it stands in for.
+func TestWorkloadCharacteristics(t *testing.T) {
+	p := testbed.Bulldozer()
+	measure := func(name string) *testbed.Measurement {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := testbed.SpreadPlacement(p.Chip, w.Program, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := p.Run(testbed.RunConfig{Threads: specs, MaxCycles: 20000, WarmupCycles: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ipc := func(m *testbed.Measurement) float64 { return float64(m.Retired) / float64(m.Cycles) }
+	missRate := func(m *testbed.Measurement) float64 {
+		if m.L1Hits+m.L1Misses == 0 {
+			return 0
+		}
+		return float64(m.L1Misses) / float64(m.L1Hits+m.L1Misses)
+	}
+	mispredictRate := func(m *testbed.Measurement) float64 {
+		if m.Branches == 0 {
+			return 0
+		}
+		return float64(m.Mispredicts) / float64(m.Branches)
+	}
+
+	mcf := measure("mcf")
+	namd := measure("namd")
+	perlbench := measure("perlbench")
+	libquantum := measure("libquantum")
+
+	// mcf: pointer chasing — low IPC, high miss rate.
+	if ipc(mcf) >= ipc(namd) {
+		t.Errorf("mcf IPC %.2f should trail compute-bound namd %.2f", ipc(mcf), ipc(namd))
+	}
+	if missRate(mcf) < 0.2 {
+		t.Errorf("mcf L1 miss rate %.2f suspiciously low for pointer chasing", missRate(mcf))
+	}
+	// namd: steady compute — near-zero misses, few mispredicts.
+	if missRate(namd) > 0.05 {
+		t.Errorf("namd miss rate %.2f too high for a small-footprint kernel", missRate(namd))
+	}
+	// perlbench: the branchy integer code mispredicts far more often.
+	if mispredictRate(perlbench) < 5*mispredictRate(namd)+0.01 {
+		t.Errorf("perlbench mispredict rate %.3f should dwarf namd's %.3f",
+			mispredictRate(perlbench), mispredictRate(namd))
+	}
+	// libquantum: streaming — plenty of L1 misses but decent IPC.
+	if missRate(libquantum) < 0.05 {
+		t.Errorf("libquantum miss rate %.3f too low for a streaming kernel", missRate(libquantum))
+	}
+}

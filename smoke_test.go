@@ -1,0 +1,20 @@
+package repro
+
+import "testing"
+
+// TestHarnessSmoke keeps `go test .` meaningful without -bench: it runs
+// the cheapest experiment end-to-end through the shared lab.
+func TestHarnessSmoke(t *testing.T) {
+	l := getLab()
+	res, err := l.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Peaks) < 3 {
+		t.Fatalf("expected three PDN resonances, got %d", len(res.Peaks))
+	}
+	rows := l.DitherCost()
+	if len(rows) != 4 {
+		t.Fatalf("dither cost rows = %d", len(rows))
+	}
+}

@@ -40,6 +40,11 @@ import (
 type (
 	// Platform is a complete simulated test system.
 	Platform = testbed.Platform
+	// CompiledPlatform is a platform compiled for repeated runs: the
+	// PDN system matrix is factored once, chip instances are pooled,
+	// and regulator settling is cached per supply voltage. Runs are
+	// bit-identical to Platform.Run, just cheaper after the first.
+	CompiledPlatform = testbed.CompiledPlatform
 	// RunConfig configures one measurement run.
 	RunConfig = testbed.RunConfig
 	// Measurement is what a run produced.
@@ -84,6 +89,11 @@ const (
 	Excitation = core.Excitation
 )
 
+// Compile prepares a platform for repeated measurement runs (the
+// evaluation fast path). Use it when running many configurations of
+// one platform — GA loops, voltage-at-failure searches, sweeps.
+func Compile(p Platform) (*CompiledPlatform, error) { return p.Compile() }
+
 // BulldozerPlatform returns the paper's primary test system: four
 // two-core modules with shared front ends and FPUs at 3.6 GHz.
 func BulldozerPlatform() Platform { return testbed.Bulldozer() }
@@ -110,14 +120,20 @@ func MeasureDroop(p Platform, prog *Program, threads int) (*Measurement, error) 
 }
 
 // FindFailureVoltage lowers the supply in 12.5 mV steps until the run
-// fails, returning the highest failing voltage.
+// fails, returning the highest failing voltage. The search runs on the
+// compiled fast path (one matrix factorisation, pooled chips, cached
+// regulator settles) and is bit-identical to probing with p.Run.
 func FindFailureVoltage(p Platform, prog *Program, threads int) (float64, bool, error) {
 	specs, err := testbed.SpreadPlacement(p.Chip, prog, threads)
 	if err != nil {
 		return 0, false, err
 	}
+	cp, err := p.Compile()
+	if err != nil {
+		return 0, false, err
+	}
 	rc := RunConfig{Threads: specs, MaxCycles: 25000, WarmupCycles: 3000}
-	return p.FindFailureVoltage(rc, p.Nominal()-0.3)
+	return cp.FindFailureVoltage(rc, p.Nominal()-0.3)
 }
 
 // ExactDither builds the exact §3.B alignment plan.

@@ -119,6 +119,11 @@ func run(platform string, threads int, mode string, loop, subblock, throttle, po
 		if err != nil {
 			return err
 		}
+		fmt.Printf("GA: %d evaluations", hsm.Search.Evaluations)
+		if hits, misses := hsm.Search.CacheHits, hsm.Search.CacheMisses; hits+misses > 0 {
+			fmt.Printf(" (fitness cache: %d hits / %d misses)", hits, misses)
+		}
+		fmt.Println()
 		fmt.Printf("best droop: %s; per-thread programs:\n", report.MilliVolts(hsm.DroopV))
 		for i, prog := range hsm.Programs {
 			fmt.Printf("  thread %d: %d instructions, FP fraction %.0f%%\n",
@@ -152,7 +157,12 @@ func run(platform string, threads int, mode string, loop, subblock, throttle, po
 	}
 	fmt.Printf("loop length: %d cycles (%.1f MHz)\n", sm.LoopCycles,
 		plat.Chip.ClockHz/float64(sm.LoopCycles)/1e6)
-	fmt.Printf("GA: %d evaluations over %d generations\n", sm.Search.Evaluations, sm.Search.Generations)
+	fmt.Printf("GA: %d evaluations over %d generations", sm.Search.Evaluations, sm.Search.Generations)
+	if hits, misses := sm.Search.CacheHits, sm.Search.CacheMisses; hits+misses > 0 {
+		fmt.Printf(" (fitness cache: %d hits / %d misses, %.0f%% saved)",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	fmt.Println()
 	fmt.Println(report.BarChart("best droop by generation (mV)",
 		genLabels(len(sm.Search.History)), scale(sm.Search.History, 1e3), 40))
 	fmt.Printf("best droop: %s (%.1f%% of nominal)\n",

@@ -1,0 +1,178 @@
+// Command benchdiff captures and diffs Go benchmark results, the
+// regression harness behind scripts/bench_regress.sh. It reads `go
+// test -bench -benchmem` output on stdin.
+//
+//	benchdiff -capture BENCH_eval.json   # write/update the baseline
+//	benchdiff -baseline BENCH_eval.json  # diff against it; exit 1 on regression
+//
+// A regression is ns/op growing more than -max-regress (fractional,
+// default 0.25) or allocs/op growing more than -max-allocs-regress
+// (default 0.02). Single-eval allocation counts are deterministic, but
+// whole-GA-run benchmarks jitter by a few allocations from goroutine
+// scheduling, so allocs get a little slack too — far less than timing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's captured result.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"bytes_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+// Baseline is the persisted BENCH_eval.json shape.
+type Baseline struct {
+	// Note documents where the numbers came from.
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	capture := flag.String("capture", "", "write parsed results to this baseline file")
+	baseline := flag.String("baseline", "", "diff parsed results against this baseline file")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op growth")
+	maxAllocs := flag.Float64("max-allocs-regress", 0.02, "allowed fractional allocs/op growth")
+	note := flag.String("note", "", "note stored with -capture")
+	flag.Parse()
+	if (*capture == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -capture or -baseline is required")
+		os.Exit(2)
+	}
+
+	got, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *capture != "" {
+		b := Baseline{Note: *note, Benchmarks: got}
+		blob, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*capture, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("captured %d benchmarks to %s\n", len(got), *capture)
+		return
+	}
+
+	blob, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+	if diff(base.Benchmarks, got, *maxRegress, *maxAllocs) {
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark lines from `go test -bench` output. The
+// trailing -N (GOMAXPROCS) suffix is stripped so results compare
+// across machines with different core counts.
+func parse(f *os.File) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+				seen = true
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out[name] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+// diff prints a comparison table and reports whether any benchmark
+// regressed.
+func diff(base, got map[string]Entry, maxRegress, maxAllocs float64) bool {
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	fmt.Printf("%-48s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "now ns/op", "Δ", "allocs")
+	for _, name := range names {
+		g := got[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-48s %14s %14.0f %8s %10.0f  (new)\n", name, "-", g.NsPerOp, "-", g.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (g.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		mark := ""
+		if delta > maxRegress {
+			mark = "  ← ns/op REGRESSION"
+			regressed = true
+		}
+		if g.AllocsPerOp > b.AllocsPerOp*(1+maxAllocs) {
+			mark += "  ← allocs/op REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-48s %14.0f %14.0f %+7.1f%% %10.0f%s\n",
+			name, b.NsPerOp, g.NsPerOp, 100*delta, g.AllocsPerOp, mark)
+	}
+	for name := range base {
+		if _, ok := got[name]; !ok {
+			fmt.Printf("%-48s  missing from this run\n", name)
+		}
+	}
+	if regressed {
+		fmt.Println("\nFAIL: benchmark regression against baseline")
+	} else {
+		fmt.Println("\nok: no regressions against baseline")
+	}
+	return regressed
+}

@@ -290,17 +290,39 @@ func FuzzParse(f *testing.F) {
 	f.Add("nop\n")
 	f.Add("loop:\n jnz loop\n")
 	f.Add(".init xmm0, 0x1, 0x2\nmulpd xmm0, xmm1\n")
+	f.Add(".name n\n.mem 128\nbarrier 3\nmovimm r8, -9\n")
+	f.Add("a:\n times 3 nop\n addpd xmm1, xmm12\n jnz a\n ; tail comment\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {
 			return
 		}
-		// Anything that parses must validate, re-render, and re-parse.
+		// Anything that parses must validate, re-render, and re-parse —
+		// and the emitted text must be a fixed point: parse(emit(p))
+		// emits the same bytes again, so emit is canonical.
 		if err := p.Validate(); err != nil {
 			t.Fatalf("parsed program fails validation: %v", err)
 		}
-		if _, err := Parse(p.Text()); err != nil {
-			t.Fatalf("round trip failed: %v\n%s", err, p.Text())
+		text := p.Text()
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, text)
+		}
+		if err := p2.Validate(); err != nil {
+			t.Fatalf("re-parsed program fails validation: %v", err)
+		}
+		if text2 := p2.Text(); text2 != text {
+			t.Fatalf("emit not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+		// The round trip must also preserve semantics, not just text:
+		// the canonical binary encodings must match.
+		b1, err1 := Encode(p)
+		b2, err2 := Encode(p2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("encodability changed across round trip: %v vs %v", err1, err2)
+		}
+		if err1 == nil && !bytes.Equal(b1, b2) {
+			t.Fatalf("binary encoding changed across text round trip\n%s", text)
 		}
 	})
 }

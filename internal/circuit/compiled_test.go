@@ -1,0 +1,193 @@
+package circuit
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// rlcLadder builds a small two-stage RLC network with a driven V source
+// and a current sink — the same element mix the PDN uses.
+func rlcLadder() (*Circuit, Node) {
+	c := New()
+	nIn := c.NewNode()
+	nMid := c.NewNode()
+	nOut := c.NewNode()
+	c.V("vin", nIn, Ground, 1.2)
+	c.R("r1", nIn, nMid, 0.01)
+	c.L("l1", nMid, nOut, 1e-9)
+	c.C("c1", nOut, Ground, 1e-6)
+	c.R("r2", nOut, Ground, 50)
+	c.I("sink", nOut, Ground, 0)
+	return c, nOut
+}
+
+// driveSteps steps the transient with a square-wave sink current and
+// records the output voltage each step.
+func driveSteps(t *Transient, out Node, sinkRef, steps int) []float64 {
+	vs := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		amps := 0.0
+		if (i/7)%2 == 0 {
+			amps = 3.5
+		}
+		t.SetSourceRef(sinkRef, amps)
+		t.Step()
+		vs[i] = t.V(out)
+	}
+	return vs
+}
+
+func sinkRefOf(t *testing.T, tr *Transient) int {
+	t.Helper()
+	ref, err := tr.SourceRef("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func TestCompiledMatchesNewTransientBitwise(t *testing.T) {
+	const steps = 500
+	const h = 1e-10
+
+	c1, out1 := rlcLadder()
+	slow, err := NewTransient(c1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveSteps(slow, out1, sinkRefOf(t, slow), steps)
+
+	c2, out2 := rlcLadder()
+	cp, err := Compile(c2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := cp.NewState()
+	got := driveSteps(fast, out2, sinkRefOf(t, fast), steps)
+
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("step %d: compiled path %v != slow path %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResetReproducesFreshStateBitwise(t *testing.T) {
+	const steps = 300
+	c, out := rlcLadder()
+	cp, err := Compile(c, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cp.NewState()
+	ref := sinkRefOf(t, st)
+	first := driveSteps(st, out, ref, steps)
+	// Dirty the state further, including a source change, then reset.
+	st.MustSetSource("vin", 0.9)
+	driveSteps(st, out, ref, 50)
+	st.Reset()
+	second := driveSteps(st, out, ref, steps)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("step %d after Reset: %v != %v", i, second[i], first[i])
+		}
+	}
+}
+
+func TestCloneIsIndependentAndExact(t *testing.T) {
+	c, out := rlcLadder()
+	cp, err := Compile(c, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cp.NewState()
+	refA := sinkRefOf(t, a)
+	driveSteps(a, out, refA, 123) // advance to an arbitrary mid-run state
+
+	b := a.Clone()
+	refB := sinkRefOf(t, b)
+	if a.Time() != b.Time() || a.V(out) != b.V(out) {
+		t.Fatal("clone does not match source state")
+	}
+	// Continue both identically: must stay bit-identical.
+	va := driveSteps(a, out, refA, 200)
+	vb := driveSteps(b, out, refB, 200)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("clone diverged at step %d: %v != %v", i, vb[i], va[i])
+		}
+	}
+	// Stepping one must not disturb the other.
+	tb := b.Time()
+	driveSteps(a, out, refA, 10)
+	if b.Time() != tb {
+		t.Error("stepping the original advanced the clone")
+	}
+}
+
+func TestCopyStateFromRejectsForeignCompiled(t *testing.T) {
+	c1, _ := rlcLadder()
+	c2, _ := rlcLadder()
+	cpA, err := Compile(c1, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpB, err := Compile(c2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyStateFrom across compiled systems did not panic")
+		}
+	}()
+	cpA.NewState().CopyStateFrom(cpB.NewState())
+}
+
+func TestConcurrentStatesOverOneCompiled(t *testing.T) {
+	c, out := rlcLadder()
+	cp, err := Compile(c, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference.
+	ref := cp.NewState()
+	want := driveSteps(ref, out, sinkRefOf(t, ref), 400)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	got := make([][]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := cp.NewState()
+			r, err := st.SourceRef("sink")
+			if err != nil {
+				panic(err)
+			}
+			got[w] = driveSteps(st, out, r, 400)
+		}(w)
+	}
+	wg.Wait()
+	for w := range got {
+		for i := range want {
+			if got[w][i] != want[i] {
+				t.Fatalf("worker %d step %d: %v != %v", w, i, got[w][i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompileValidatesStep(t *testing.T) {
+	c, _ := rlcLadder()
+	if _, err := Compile(c, 0); err == nil {
+		t.Error("zero step size accepted")
+	}
+	if _, err := Compile(c, math.Inf(1)); err == nil {
+		// Infinite step: capacitor conductance collapses to zero; the
+		// matrix may or may not factor, but a NaN must not escape.
+		t.Skip("inf step factored; acceptable")
+	}
+}

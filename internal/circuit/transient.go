@@ -2,17 +2,41 @@ package circuit
 
 import "fmt"
 
-// Transient is a compiled fixed-step trapezoidal transient simulation
-// of a circuit. The system matrix is factored once at construction;
-// each Step solves one right-hand side, so long runs cost O(n²) per
-// step on the (tiny) MNA system.
-type Transient struct {
+// Compiled is the immutable, shareable part of a fixed-step trapezoidal
+// transient simulation: the circuit topology with branch unknowns
+// assigned, the factored trapezoidal system matrix, and the DC operating
+// point captured as the canonical initial state. Compiling is the
+// expensive step (two dense factorisations); once compiled, any number
+// of independent Transient states can be spun up, reset, or cloned from
+// it at the cost of a few slice copies. A Compiled is safe for
+// concurrent use by any number of Transient states.
+type Compiled struct {
 	c *Circuit
 	h float64 // step size, seconds
 
-	n       int // total unknowns: (nodes-1) + branches
-	nv      int // voltage unknowns (nodes-1)
-	lu      *luReal
+	n      int // total unknowns: (nodes-1) + branches
+	nv     int // voltage unknowns (nodes-1)
+	lu     *luReal
+	capIdx []int // element indices of capacitors
+
+	// Initial state at the DC operating point, copied into every fresh
+	// or reset Transient.
+	x0       []float64
+	capV0    []float64
+	capI0    []float64
+	indI0    []float64
+	sources0 []float64
+}
+
+// Transient is a live fixed-step trapezoidal transient simulation: the
+// mutable state (solution vector, companion-model history, live source
+// values) advancing over a shared Compiled system. Each Step solves one
+// right-hand side, so long runs cost O(n²) per step on the (tiny) MNA
+// system. Distinct Transient states over one Compiled are independent
+// and may step concurrently.
+type Transient struct {
+	cp *Compiled
+
 	rhs     []float64
 	x       []float64
 	sources []float64 // live source values, indexed by element
@@ -20,60 +44,58 @@ type Transient struct {
 	// Companion state.
 	capV []float64 // previous branch voltage per capacitor element index
 	capI []float64 // previous branch current per capacitor
-	indI []float64 // previous current per inductor (indexed by branch slot)
+	indI []float64 // previous current per inductor (indexed by element)
 
-	capIdx []int // element indices of capacitors
-	time   float64
+	time float64
 }
 
-// NewTransient compiles the circuit for step size h seconds and
-// initialises state at the DC operating point of the initial source
-// values (capacitors open, inductors shorted).
-func NewTransient(c *Circuit, h float64) (*Transient, error) {
+// Compile assigns branch unknowns, solves the DC operating point of the
+// initial source values (capacitors open, inductors shorted), and
+// factors the trapezoidal system matrix for step size h seconds. The
+// circuit must not be modified afterwards.
+func Compile(c *Circuit, h float64) (*Compiled, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("circuit: step size must be positive, got %g", h)
 	}
-	t := &Transient{c: c, h: h, nv: c.nodes - 1}
+	cp := &Compiled{c: c, h: h, nv: c.nodes - 1}
 	// Assign branch unknowns: one per V source and inductor.
 	branches := 0
 	for i := range c.elements {
 		e := &c.elements[i]
 		if e.kind == kindV || e.kind == kindL {
-			e.branch = t.nv + branches
+			e.branch = cp.nv + branches
 			branches++
 		}
 	}
-	t.n = t.nv + branches
-	t.rhs = make([]float64, t.n)
-	t.x = make([]float64, t.n)
-	t.sources = make([]float64, len(c.elements))
-	t.capV = make([]float64, len(c.elements))
-	t.capI = make([]float64, len(c.elements))
-	t.indI = make([]float64, len(c.elements))
+	cp.n = cp.nv + branches
+	cp.sources0 = make([]float64, len(c.elements))
+	cp.capV0 = make([]float64, len(c.elements))
+	cp.capI0 = make([]float64, len(c.elements))
+	cp.indI0 = make([]float64, len(c.elements))
 	for i := range c.elements {
-		t.sources[i] = c.elements[i].val
+		cp.sources0[i] = c.elements[i].val
 		if c.elements[i].kind == kindC {
-			t.capIdx = append(t.capIdx, i)
+			cp.capIdx = append(cp.capIdx, i)
 		}
 	}
 
-	if err := t.initDC(); err != nil {
+	if err := cp.initDC(); err != nil {
 		return nil, err
 	}
 
 	// Build and factor the trapezoidal system matrix.
-	a := make([]float64, t.n*t.n)
+	a := make([]float64, cp.n*cp.n)
 	stampG := func(na, nb Node, g float64) {
 		ia, ib := int(na)-1, int(nb)-1
 		if ia >= 0 {
-			a[ia*t.n+ia] += g
+			a[ia*cp.n+ia] += g
 		}
 		if ib >= 0 {
-			a[ib*t.n+ib] += g
+			a[ib*cp.n+ib] += g
 		}
 		if ia >= 0 && ib >= 0 {
-			a[ia*t.n+ib] -= g
-			a[ib*t.n+ia] -= g
+			a[ia*cp.n+ib] -= g
+			a[ib*cp.n+ia] -= g
 		}
 	}
 	for i := range c.elements {
@@ -86,41 +108,53 @@ func NewTransient(c *Circuit, h float64) (*Transient, error) {
 		case kindL:
 			ia, ib, br := int(e.a)-1, int(e.b)-1, e.branch
 			if ia >= 0 {
-				a[ia*t.n+br] += 1
-				a[br*t.n+ia] += 1
+				a[ia*cp.n+br] += 1
+				a[br*cp.n+ia] += 1
 			}
 			if ib >= 0 {
-				a[ib*t.n+br] -= 1
-				a[br*t.n+ib] -= 1
+				a[ib*cp.n+br] -= 1
+				a[br*cp.n+ib] -= 1
 			}
-			a[br*t.n+br] -= 2 * e.val / h
+			a[br*cp.n+br] -= 2 * e.val / h
 		case kindV:
 			ia, ib, br := int(e.a)-1, int(e.b)-1, e.branch
 			if ia >= 0 {
-				a[ia*t.n+br] += 1
-				a[br*t.n+ia] += 1
+				a[ia*cp.n+br] += 1
+				a[br*cp.n+ia] += 1
 			}
 			if ib >= 0 {
-				a[ib*t.n+br] -= 1
-				a[br*t.n+ib] -= 1
+				a[ib*cp.n+br] -= 1
+				a[br*cp.n+ib] -= 1
 			}
 		case kindI:
 			// RHS only.
 		}
 	}
-	lu, err := factorReal(a, t.n)
+	lu, err := factorReal(a, cp.n)
 	if err != nil {
 		return nil, fmt.Errorf("circuit: transient matrix: %w", err)
 	}
-	t.lu = lu
-	return t, nil
+	cp.lu = lu
+	return cp, nil
+}
+
+// NewTransient compiles the circuit for step size h seconds and returns
+// a fresh simulation state at the DC operating point of the initial
+// source values. Equivalent to Compile followed by NewState; callers
+// that run one circuit repeatedly should Compile once and reuse it.
+func NewTransient(c *Circuit, h float64) (*Transient, error) {
+	cp, err := Compile(c, h)
+	if err != nil {
+		return nil, err
+	}
+	return cp.NewState(), nil
 }
 
 // initDC solves the DC operating point: capacitors removed, inductors
 // replaced by 0 V sources (shorts) whose branch currents we keep.
-func (t *Transient) initDC() error {
-	c := t.c
-	n := t.n
+func (cp *Compiled) initDC() error {
+	c := cp.c
+	n := cp.n
 	a := make([]float64, n*n)
 	b := make([]float64, n)
 	stampG := func(na, nb Node, g float64) {
@@ -156,15 +190,15 @@ func (t *Transient) initDC() error {
 				a[br*n+ib] -= 1
 			}
 			if e.kind == kindV {
-				b[br] = t.sources[i]
+				b[br] = cp.sources0[i]
 			} // inductor: 0 V short
 		case kindI:
 			ia, ib := int(e.a)-1, int(e.b)-1
 			if ia >= 0 {
-				b[ia] -= t.sources[i]
+				b[ia] -= cp.sources0[i]
 			}
 			if ib >= 0 {
-				b[ib] += t.sources[i]
+				b[ib] += cp.sources0[i]
 			}
 		}
 	}
@@ -172,31 +206,94 @@ func (t *Transient) initDC() error {
 	if err != nil {
 		return fmt.Errorf("circuit: DC matrix: %w", err)
 	}
-	lu.solve(b, t.x)
+	cp.x0 = make([]float64, n)
+	lu.solve(b, cp.x0)
 	// Capture companion state from the DC solution.
 	nodeV := func(nd Node) float64 {
 		if nd == Ground {
 			return 0
 		}
-		return t.x[int(nd)-1]
+		return cp.x0[int(nd)-1]
 	}
-	for _, i := range t.capIdx {
-		e := &t.c.elements[i]
-		t.capV[i] = nodeV(e.a) - nodeV(e.b)
-		t.capI[i] = 0
+	for _, i := range cp.capIdx {
+		e := &c.elements[i]
+		cp.capV0[i] = nodeV(e.a) - nodeV(e.b)
+		cp.capI0[i] = 0
 	}
 	for i := range c.elements {
 		e := &c.elements[i]
 		if e.kind == kindL {
-			t.indI[i] = t.x[e.branch]
+			cp.indI0[i] = cp.x0[e.branch]
 		}
 	}
 	return nil
 }
 
+// NewState returns a fresh simulation state at the compiled DC
+// operating point. This is the cheap per-run path: a handful of slice
+// allocations, no factorisation.
+func (cp *Compiled) NewState() *Transient {
+	t := &Transient{
+		cp:      cp,
+		rhs:     make([]float64, cp.n),
+		x:       make([]float64, cp.n),
+		sources: make([]float64, len(cp.sources0)),
+		capV:    make([]float64, len(cp.capV0)),
+		capI:    make([]float64, len(cp.capI0)),
+		indI:    make([]float64, len(cp.indI0)),
+	}
+	t.Reset()
+	return t
+}
+
+// StepSize returns the compiled integration step in seconds.
+func (cp *Compiled) StepSize() float64 { return cp.h }
+
+// Compiled returns the shared compiled system this state advances over.
+func (t *Transient) Compiled() *Compiled { return t.cp }
+
+// Reset restores the state to the compiled DC operating point without
+// allocating, so pooled states can be reused across runs. A reset state
+// is bit-identical to a freshly built one.
+func (t *Transient) Reset() {
+	copy(t.x, t.cp.x0)
+	copy(t.sources, t.cp.sources0)
+	copy(t.capV, t.cp.capV0)
+	copy(t.capI, t.cp.capI0)
+	copy(t.indI, t.cp.indI0)
+	for i := range t.rhs {
+		t.rhs[i] = 0
+	}
+	t.time = 0
+}
+
+// Clone returns an independent copy of the state sharing the same
+// compiled system. Cloning a settled state and stepping the copy leaves
+// the original untouched — the mechanism behind supply-settle caching.
+func (t *Transient) Clone() *Transient {
+	out := t.cp.NewState()
+	out.CopyStateFrom(t)
+	return out
+}
+
+// CopyStateFrom overwrites this state with src's. Both must share one
+// Compiled; it panics otherwise (mixed topologies have incompatible
+// state vectors).
+func (t *Transient) CopyStateFrom(src *Transient) {
+	if t.cp != src.cp {
+		panic("circuit: CopyStateFrom across different compiled systems")
+	}
+	copy(t.x, src.x)
+	copy(t.sources, src.sources)
+	copy(t.capV, src.capV)
+	copy(t.capI, src.capI)
+	copy(t.indI, src.indI)
+	t.time = src.time
+}
+
 // SetSource updates a named V or I source's value for subsequent steps.
 func (t *Transient) SetSource(name string, value float64) error {
-	i, err := t.c.findSource(name)
+	i, err := t.cp.c.findSource(name)
 	if err != nil {
 		return err
 	}
@@ -214,7 +311,7 @@ func (t *Transient) MustSetSource(name string, value float64) {
 
 // SourceRef resolves a source name to an opaque index for per-step
 // updates without map lookups.
-func (t *Transient) SourceRef(name string) (int, error) { return t.c.findSource(name) }
+func (t *Transient) SourceRef(name string) (int, error) { return t.cp.c.findSource(name) }
 
 // SetSourceRef updates a source by reference from SourceRef.
 func (t *Transient) SetSourceRef(ref int, value float64) { t.sources[ref] = value }
@@ -224,16 +321,17 @@ func (t *Transient) Time() float64 { return t.time }
 
 // Step advances the simulation by one time step.
 func (t *Transient) Step() {
+	cp := t.cp
 	b := t.rhs
 	for i := range b {
 		b[i] = 0
 	}
-	c := t.c
+	c := cp.c
 	for i := range c.elements {
 		e := &c.elements[i]
 		switch e.kind {
 		case kindC:
-			g := 2 * e.val / t.h
+			g := 2 * e.val / cp.h
 			ieq := g*t.capV[i] + t.capI[i]
 			ia, ib := int(e.a)-1, int(e.b)-1
 			if ia >= 0 {
@@ -243,7 +341,7 @@ func (t *Transient) Step() {
 				b[ib] -= ieq
 			}
 		case kindL:
-			b[e.branch] = -(2*e.val/t.h)*t.indI[i] - t.branchVoltagePrev(e)
+			b[e.branch] = -(2*e.val/cp.h)*t.indI[i] - t.branchVoltagePrev(e)
 		case kindV:
 			b[e.branch] = t.sources[i]
 		case kindI:
@@ -256,13 +354,13 @@ func (t *Transient) Step() {
 			}
 		}
 	}
-	t.lu.solve(b, t.x)
-	t.time += t.h
+	cp.lu.solve(b, t.x)
+	t.time += cp.h
 	// Update companion state.
-	for _, i := range t.capIdx {
-		e := &t.c.elements[i]
+	for _, i := range cp.capIdx {
+		e := &c.elements[i]
 		vNew := t.nodeV(e.a) - t.nodeV(e.b)
-		g := 2 * e.val / t.h
+		g := 2 * e.val / cp.h
 		iNew := g*(vNew-t.capV[i]) - t.capI[i]
 		t.capV[i], t.capI[i] = vNew, iNew
 	}
@@ -293,8 +391,9 @@ func (t *Transient) V(nd Node) float64 { return t.nodeV(nd) }
 // BranchCurrent returns the most recent current through a named V
 // source or inductor (positive a→b).
 func (t *Transient) BranchCurrent(name string) (float64, error) {
-	for i := range t.c.elements {
-		e := &t.c.elements[i]
+	c := t.cp.c
+	for i := range c.elements {
+		e := &c.elements[i]
 		if e.name == name && (e.kind == kindV || e.kind == kindL) {
 			return t.x[e.branch], nil
 		}

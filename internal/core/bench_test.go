@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ga"
+	"repro/internal/testbed"
+)
+
+// benchGenerate runs one short AUDIT search on the Bulldozer platform.
+// Low mutation keeps crossover reproducing parents, so the memoized
+// variant gets realistic duplicate traffic to exploit.
+func benchGenerate(b *testing.B, noMemoize bool) *Stressmark {
+	b.Helper()
+	sm, err := Generate(Options{
+		Platform:   testbed.Bulldozer(),
+		LoopCycles: 36,
+		GA: ga.Config{
+			PopSize:        8,
+			Elites:         2,
+			TournamentK:    3,
+			MutationProb:   0.2,
+			MaxGenerations: 6,
+			Seed:           11,
+			NoMemoize:      noMemoize,
+		},
+		MeasureCycles: 1500,
+		WarmupCycles:  1000,
+		Seed:          11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sm
+}
+
+// BenchmarkGARunMemoized measures the whole GA search with the fitness
+// cache on (default) and off. Both variants use the compiled-platform
+// fast path; the difference is purely duplicate candidates served from
+// the cache instead of re-simulated.
+func BenchmarkGARunMemoized(b *testing.B) {
+	b.Run("Memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		var hits int
+		for i := 0; i < b.N; i++ {
+			hits = benchGenerate(b, false).Search.CacheHits
+		}
+		b.ReportMetric(float64(hits), "cache-hits")
+	})
+	b.Run("NoMemoize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchGenerate(b, true)
+		}
+	})
+}

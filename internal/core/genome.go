@@ -10,6 +10,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -48,6 +49,23 @@ func (g Genome) Clone() Genome {
 	out := g
 	out.Slots = append([]Slot(nil), g.Slots...)
 	return out
+}
+
+// Fingerprint returns a canonical content key for fitness memoization
+// (ga.Ops.Fingerprint): it is an exact packed encoding of everything
+// that determines the built program — shape then every slot — so equal
+// keys mean equal phenotypes, with no hash-collision risk.
+func (g Genome) Fingerprint() string {
+	b := make([]byte, 0, 16+5*len(g.Slots))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(g.S))
+	b = append(b, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(g.LPCycles))
+	b = append(b, tmp[:]...)
+	for _, s := range g.Slots {
+		b = append(b, byte(uint16(s.Op)), byte(uint16(s.Op)>>8), s.A, s.B, s.C)
+	}
+	return string(b)
 }
 
 // Register pools used by the code generator. The loop counter (rcx) and

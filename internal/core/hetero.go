@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -28,6 +29,20 @@ func (h HeteroGenome) Clone() HeteroGenome {
 		out.PerThread[i] = g.Clone()
 	}
 	return out
+}
+
+// Fingerprint is the memoization key: per-thread fingerprints joined
+// with length prefixes, so thread boundaries stay unambiguous.
+func (h HeteroGenome) Fingerprint() string {
+	b := make([]byte, 0, 64*len(h.PerThread))
+	var tmp [8]byte
+	for _, g := range h.PerThread {
+		fp := g.Fingerprint()
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(fp)))
+		b = append(b, tmp[:]...)
+		b = append(b, fp...)
+	}
+	return string(b)
 }
 
 // HeteroStressmark is the result of heterogeneous generation.
@@ -86,6 +101,10 @@ func GenerateHetero(opt Options) (*HeteroStressmark, error) {
 		return progs, nil
 	}
 
+	cp, err := opt.Platform.Compile()
+	if err != nil {
+		return nil, err
+	}
 	eval := func(h HeteroGenome) (float64, error) {
 		progs, err := build(h)
 		if err != nil {
@@ -98,7 +117,7 @@ func GenerateHetero(opt Options) (*HeteroStressmark, error) {
 		for i := range specs {
 			specs[i].Program = progs[i]
 		}
-		m, err := opt.Platform.Run(testbed.RunConfig{
+		m, err := cp.Run(testbed.RunConfig{
 			Threads:      specs,
 			MaxCycles:    opt.WarmupCycles + opt.MeasureCycles,
 			WarmupCycles: opt.WarmupCycles,
@@ -133,6 +152,7 @@ func GenerateHetero(opt Options) (*HeteroStressmark, error) {
 			out.PerThread[i] = cg.Mutate(rng, out.PerThread[i])
 			return out
 		},
+		Fingerprint: HeteroGenome.Fingerprint,
 	}
 
 	// Seeds. When sibling threads share a front end, decode alternates

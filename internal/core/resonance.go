@@ -17,6 +17,10 @@ import (
 // whenever the processor or board changes (§5.C).
 type ResonanceSweep struct {
 	Platform testbed.Platform
+	// Compiled, when non-nil, is a pre-compiled form of Platform the
+	// sweep runs through (shared with the caller's GA loop); when nil,
+	// the sweep compiles the platform itself.
+	Compiled *testbed.CompiledPlatform
 	// Threads is how many aligned copies to run (one per module).
 	Threads int
 	// MeasureCycles per probe point.
@@ -81,6 +85,14 @@ func (rs ResonanceSweep) Run(lo, hi, step int) ([]SweepPoint, SweepPoint, error)
 	if warmup == 0 {
 		warmup = 3000
 	}
+	cp := rs.Compiled
+	if cp == nil {
+		var err error
+		cp, err = rs.Platform.Compile()
+		if err != nil {
+			return nil, SweepPoint{}, err
+		}
+	}
 	var points []SweepPoint
 	best := SweepPoint{}
 	for n := lo; n <= hi; n += step {
@@ -92,7 +104,7 @@ func (rs ResonanceSweep) Run(lo, hi, step int) ([]SweepPoint, SweepPoint, error)
 		if err != nil {
 			return nil, SweepPoint{}, err
 		}
-		m, err := rs.Platform.Run(testbed.RunConfig{
+		m, err := cp.Run(testbed.RunConfig{
 			Threads:      specs,
 			MaxCycles:    warmup + measure,
 			WarmupCycles: warmup,

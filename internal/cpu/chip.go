@@ -172,6 +172,61 @@ func NewChip(cfg uarch.ChipConfig, pm power.Model) (*Chip, error) {
 	return ch, nil
 }
 
+// Reset returns the chip to its just-constructed state: threads
+// detached, caches cold, predictor re-initialised, queues and scratch
+// state cleared. A reset chip behaves bit-identically to a fresh
+// NewChip with the same config and power model — that property is what
+// lets the compiled testbed pool chip instances across runs instead of
+// reallocating the multi-megabyte cache and completion-table arrays
+// every evaluation.
+func (ch *Chip) Reset() {
+	ch.cycle = 0
+	ch.throttle = ch.cfg.FPThrottleLimit
+	ch.res = CycleResult{}
+	for id := range ch.barrierWaiting {
+		delete(ch.barrierWaiting, id)
+	}
+	ch.l3.Reset()
+	for _, m := range ch.modules {
+		m.l2.Reset()
+		m.fpToken = 0
+		m.fpLastSrc = isa.Value{}
+		m.fpLastRes = isa.Value{}
+		m.fpIssued = false
+		for _, c := range m.cores {
+			c.th = nil
+			c.l1.Reset()
+			c.intQ = c.intQ[:0]
+			c.fpQ = c.fpQ[:0]
+			c.lsq = 0
+			c.regWriterTag = [isa.TotalRegs]uint64{}
+			c.ringTag = [ringK]uint64{}
+			c.readyRing = [ringK]uint64{}
+			c.stallUntil = 0
+			c.idivBusyUntil = 0
+			for i := range c.mshr {
+				c.mshr[i] = 0
+			}
+			for i := range c.busUsed {
+				c.busUsed[i] = 0
+			}
+			for i := range c.busCycle {
+				c.busCycle[i] = 0
+			}
+			c.waitBarrier = -1
+			c.ghist = 0
+			for i := range c.btable {
+				c.btable[i] = 1
+			}
+			c.branches, c.mispredicts = 0, 0
+			c.lastSrc = [isa.NumUnits]isa.Value{}
+			c.lastRes = [isa.NumUnits]isa.Value{}
+			c.retired = 0
+			c.activeNow = false
+		}
+	}
+}
+
 // Config returns the chip's configuration.
 func (ch *Chip) Config() uarch.ChipConfig { return ch.cfg }
 

@@ -287,7 +287,9 @@ func (l *Lab) DitherDemo() (*DitherDemoResult, error) {
 // ---- §3.C: hierarchical sub-blocking vs flat generation ----
 
 // HierFlatResult compares the two genome layouts at equal evaluation
-// budget.
+// budget. The budget counts candidates scored — fitness-cache hits
+// included, since a duplicate candidate still consumes a GA slot even
+// when memoization skips its simulation.
 type HierFlatResult struct {
 	HierDroopV     float64
 	FlatDroopV     float64
@@ -324,8 +326,8 @@ func (l *Lab) HierarchicalVsFlat() (*HierFlatResult, error) {
 	res := &HierFlatResult{
 		HierDroopV: hier.DroopV,
 		FlatDroopV: flat.DroopV,
-		HierEvals:  hier.Search.Evaluations,
-		FlatEvals:  flat.Search.Evaluations,
+		HierEvals:  hier.Search.Evaluations + hier.Search.CacheHits,
+		FlatEvals:  flat.Search.Evaluations + flat.Search.CacheHits,
 	}
 	if flat.DroopV > 0 {
 		res.ImprovementPct = (hier.DroopV/flat.DroopV - 1) * 100

@@ -21,6 +21,13 @@ type Ops[G any] struct {
 	Crossover func(rng *rand.Rand, a, b G) G
 	// Mutate returns a (possibly) modified copy of g.
 	Mutate func(rng *rand.Rand, g G) G
+	// Fingerprint, when non-nil, enables fitness memoization: it must
+	// return a canonical content key — equal genomes (same phenotype)
+	// must map to equal keys, different genomes to different keys. A
+	// candidate whose key has been scored before reuses that score
+	// instead of re-running the simulator, so duplicates produced by
+	// crossover/mutation across generations cost zero evaluations.
+	Fingerprint func(G) string
 }
 
 // Config controls the search.
@@ -48,6 +55,9 @@ type Config struct {
 	StagnantLimit int
 	// Seed makes the run reproducible.
 	Seed int64
+	// NoMemoize disables fitness memoization even when Ops.Fingerprint
+	// is set (useful for measuring raw evaluation cost).
+	NoMemoize bool
 }
 
 // Validate checks the configuration.
@@ -83,9 +93,16 @@ type Result[G any] struct {
 	Fitnesses []float64
 	// Generations actually executed.
 	Generations int
-	// Evaluations is the number of fitness calls (the budget measure
-	// used when comparing hierarchical vs flat generation, §3.C).
+	// Evaluations is the number of fitness calls actually made (the
+	// budget measure used when comparing hierarchical vs flat
+	// generation, §3.C). With memoization enabled, candidates served
+	// from the cache are not counted here — see CacheHits.
 	Evaluations int
+	// CacheHits and CacheMisses report fitness-memoization traffic
+	// (both zero when Ops.Fingerprint is nil or NoMemoize is set).
+	// CacheMisses equals the evaluations spent on memoized batches.
+	CacheHits   int
+	CacheMisses int
 	// History holds the best fitness after each generation.
 	History []float64
 }
@@ -109,6 +126,35 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	res := &Result[G]{}
+	fp := ops.Fingerprint
+	if cfg.NoMemoize {
+		fp = nil
+	}
+	var cache map[string]float64
+	if fp != nil {
+		cache = make(map[string]float64)
+	}
+	// score runs one batch through the cache (when enabled) and the
+	// worker pool, accounting evaluations and cache traffic.
+	score := func(gs []G) ([]float64, error) {
+		if fp == nil {
+			fits, err := evalBatch(gs, eval, cfg.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluations += len(gs)
+			return fits, nil
+		}
+		fits, hits, misses, err := evalMemo(gs, fp, cache, eval, cfg.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		res.CacheHits += hits
+		res.CacheMisses += misses
+		res.Evaluations += misses
+		return fits, nil
+	}
+
 	initial := make([]G, cfg.PopSize)
 	for i := range initial {
 		if i < len(seeds) {
@@ -117,11 +163,10 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 			initial[i] = ops.Random(rng)
 		}
 	}
-	fits, err := evalBatch(initial, eval, cfg.Parallel)
+	fits, err := score(initial)
 	if err != nil {
 		return nil, fmt.Errorf("ga: evaluating initial population: %w", err)
 	}
-	res.Evaluations += len(initial)
 	pop := make([]scored[G], cfg.PopSize)
 	for i := range pop {
 		pop[i] = scored[G]{g: initial[i], fit: fits[i]}
@@ -143,11 +188,10 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 			}
 			children = append(children, child)
 		}
-		fits, err := evalBatch(children, eval, cfg.Parallel)
+		fits, err := score(children)
 		if err != nil {
 			return nil, fmt.Errorf("ga: evaluating generation %d: %w", gen, err)
 		}
-		res.Evaluations += len(children)
 		for i, child := range children {
 			next = append(next, scored[G]{g: child, fit: fits[i]})
 		}
@@ -170,6 +214,51 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 		res.Fitnesses = append(res.Fitnesses, s.fit)
 	}
 	return res, nil
+}
+
+// evalMemo scores a batch through the fitness cache: genomes scored in
+// an earlier generation (matched by fingerprint) reuse their score,
+// duplicates within the batch are evaluated once, and only unique
+// misses reach eval. All lookups and dedup happen on the calling
+// goroutine before any fan-out, and the cache is written only after the
+// batch completes, so parallel runs are race-free and bit-identical to
+// serial ones: the same set of genomes is simulated either way.
+func evalMemo[G any](gs []G, fp func(G) string, cache map[string]float64, eval func(G) (float64, error), workers int) (fits []float64, hits, misses int, err error) {
+	fits = make([]float64, len(gs))
+	keys := make([]string, len(gs))
+	rep := make(map[string]int, len(gs)) // key → first occurrence in batch
+	var uniq []G
+	var uniqIdx []int
+	var dups [][2]int // [duplicate index, representative index]
+	for i, g := range gs {
+		k := fp(g)
+		keys[i] = k
+		if fit, ok := cache[k]; ok {
+			fits[i] = fit
+			hits++
+			continue
+		}
+		if j, ok := rep[k]; ok {
+			dups = append(dups, [2]int{i, j})
+			hits++
+			continue
+		}
+		rep[k] = i
+		uniq = append(uniq, g)
+		uniqIdx = append(uniqIdx, i)
+	}
+	ufits, err := evalBatch(uniq, eval, workers)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for k, i := range uniqIdx {
+		fits[i] = ufits[k]
+		cache[keys[i]] = ufits[k]
+	}
+	for _, d := range dups {
+		fits[d[0]] = fits[d[1]]
+	}
+	return fits, hits, len(uniq), nil
 }
 
 // evalBatch scores a batch of genomes, fanning out across workers when

@@ -1,0 +1,166 @@
+package ga
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// bitKey is the canonical fingerprint of the bitstring toy genome.
+func bitKey(g bits) string {
+	b := make([]byte, len(g))
+	for i, v := range g {
+		if v {
+			b[i] = 1
+		}
+	}
+	return string(b)
+}
+
+func memoOps(n int) Ops[bits] {
+	ops := bitOps(n)
+	ops.Fingerprint = bitKey
+	return ops
+}
+
+// TestParallel8MatchesSerialExactly is the determinism satellite:
+// Parallel: 8 must reproduce the serial trajectory field for field —
+// Best, BestFitness, History, Evaluations — for the same seed, both
+// with memoization (fingerprinted ops) and without. Run under -race.
+func TestParallel8MatchesSerialExactly(t *testing.T) {
+	for _, memo := range []bool{false, true} {
+		name := "memoized"
+		if !memo {
+			name = "raw"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) *Result[bits] {
+				cfg := defaultCfg()
+				cfg.Parallel = workers
+				ops := bitOps(24)
+				if memo {
+					ops = memoOps(24)
+				}
+				res, err := Run(cfg, ops, nil, onemax)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := run(0)
+			parallel := run(8)
+			if !reflect.DeepEqual(serial.Best, parallel.Best) {
+				t.Errorf("Best diverged: %v vs %v", serial.Best, parallel.Best)
+			}
+			if serial.BestFitness != parallel.BestFitness {
+				t.Errorf("BestFitness diverged: %v vs %v", serial.BestFitness, parallel.BestFitness)
+			}
+			if serial.Evaluations != parallel.Evaluations {
+				t.Errorf("Evaluations diverged: %d vs %d", serial.Evaluations, parallel.Evaluations)
+			}
+			if serial.CacheHits != parallel.CacheHits || serial.CacheMisses != parallel.CacheMisses {
+				t.Errorf("cache counters diverged: %d/%d vs %d/%d",
+					serial.CacheHits, serial.CacheMisses, parallel.CacheHits, parallel.CacheMisses)
+			}
+			if !reflect.DeepEqual(serial.History, parallel.History) {
+				t.Errorf("History diverged:\n serial  %v\n parallel %v", serial.History, parallel.History)
+			}
+			if !reflect.DeepEqual(serial.Population, parallel.Population) {
+				t.Error("final populations diverged")
+			}
+		})
+	}
+}
+
+// TestMemoizationSkipsDuplicateEvaluations checks the core promise:
+// a genome already scored is never simulated again, and the counters
+// add up (every candidate is either a hit or a miss).
+func TestMemoizationSkipsDuplicateEvaluations(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 40
+	var calls int64
+	seen := sync.Map{} // key → true, to prove no key is evaluated twice
+	eval := func(g bits) (float64, error) {
+		atomic.AddInt64(&calls, 1)
+		k := bitKey(g)
+		if _, dup := seen.LoadOrStore(k, true); dup {
+			t.Errorf("genome %q evaluated twice", k)
+		}
+		return onemax(g)
+	}
+	res, err := Run(cfg, memoOps(16), nil, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls) != res.Evaluations {
+		t.Errorf("eval called %d times but Evaluations = %d", calls, res.Evaluations)
+	}
+	if res.CacheMisses != res.Evaluations {
+		t.Errorf("CacheMisses %d != Evaluations %d", res.CacheMisses, res.Evaluations)
+	}
+	if res.CacheHits == 0 {
+		t.Error("a 40-generation onemax run produced zero duplicate candidates; memoization untested")
+	}
+	// Every candidate in every batch is either a hit or a miss; the GA
+	// scored PopSize initial + (PopSize-Elites) per generation.
+	total := cfg.PopSize + res.Generations*(cfg.PopSize-cfg.Elites)
+	if res.CacheHits+res.CacheMisses != total {
+		t.Errorf("hits+misses = %d, want %d candidates", res.CacheHits+res.CacheMisses, total)
+	}
+}
+
+// TestMemoizedMatchesUnmemoized: the cache must not change the search,
+// only skip redundant simulator calls.
+func TestMemoizedMatchesUnmemoized(t *testing.T) {
+	raw, err := Run(defaultCfg(), bitOps(20), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := Run(defaultCfg(), memoOps(20), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.BestFitness != memo.BestFitness || !reflect.DeepEqual(raw.History, memo.History) ||
+		!reflect.DeepEqual(raw.Best, memo.Best) {
+		t.Error("memoized trajectory diverged from raw")
+	}
+	if memo.Evaluations >= raw.Evaluations {
+		t.Errorf("memoization saved nothing: %d vs %d evaluations", memo.Evaluations, raw.Evaluations)
+	}
+	if raw.CacheHits != 0 || raw.CacheMisses != 0 {
+		t.Error("cache counters nonzero without a Fingerprint op")
+	}
+}
+
+// TestNoMemoizeDisablesCache: Config.NoMemoize must behave exactly as
+// if no Fingerprint op were set.
+func TestNoMemoizeDisablesCache(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.NoMemoize = true
+	res, err := Run(cfg, memoOps(16), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 0 {
+		t.Errorf("NoMemoize still hit the cache: %d/%d", res.CacheHits, res.CacheMisses)
+	}
+	raw, err := Run(defaultCfg(), bitOps(16), nil, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != raw.Evaluations || res.BestFitness != raw.BestFitness {
+		t.Error("NoMemoize trajectory differs from fingerprint-less run")
+	}
+}
+
+// TestMemoizedParallelEvalErrorPropagates: errors from unique-miss
+// evaluation must surface through the memo path too.
+func TestMemoizedParallelEvalErrorPropagates(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Parallel = 8
+	_, err := Run(cfg, memoOps(8), nil, func(bits) (float64, error) { return 0, errTest })
+	if err == nil {
+		t.Error("memoized parallel eval error swallowed")
+	}
+}

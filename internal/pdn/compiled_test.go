@@ -1,0 +1,130 @@
+package pdn
+
+import (
+	"sync"
+	"testing"
+)
+
+// drive steps a PDN with a square-wave current load and records VDie.
+func drive(p *PDN, steps int) []float64 {
+	vs := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		amps := 20.0
+		if (i/9)%2 == 1 {
+			amps = 80.0
+		}
+		p.Step(amps)
+		vs[i] = p.VDie()
+	}
+	return vs
+}
+
+func presets() []Config {
+	return []Config{Bulldozer(), Phenom()}
+}
+
+func TestCompiledMatchesNewBitwise(t *testing.T) {
+	const dt = 1e-10
+	const steps = 600
+	for _, cfg := range presets() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			slow, err := New(cfg, dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drive(slow, steps)
+
+			cp, err := Compile(cfg, dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drive(cp.New(), steps)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("step %d: compiled %v != fresh %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPoolReuseIsBitIdentical(t *testing.T) {
+	cp, err := Compile(Bulldozer(), 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cp.Get()
+	want := drive(first, 400)
+	// Dirty it further with a supply change, then recycle.
+	first.SetSupply(0.9)
+	drive(first, 100)
+	cp.Put(first)
+
+	second := cp.Get() // same backing object, reset
+	got := drive(second, 400)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("step %d after pool reuse: %v != %v", i, got[i], want[i])
+		}
+	}
+	cp.Put(second)
+}
+
+func TestCloneAndCopyStateFrom(t *testing.T) {
+	cp, err := Compile(Phenom(), 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cp.New()
+	a.SetSupply(1.0)
+	drive(a, 250) // mid-run state
+
+	b := a.Clone()
+	va := drive(a, 300)
+	vb := drive(b, 300)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("clone diverged at step %d: %v != %v", i, vb[i], va[i])
+		}
+	}
+
+	c := cp.New()
+	c.CopyStateFrom(b)
+	vc := drive(c, 300)
+	vb2 := drive(b, 300)
+	for i := range vc {
+		if vc[i] != vb2[i] {
+			t.Fatalf("CopyStateFrom diverged at step %d: %v != %v", i, vc[i], vb2[i])
+		}
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	cp, err := Compile(Bulldozer(), 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cp.New()
+	want := drive(ref, 350)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				p := cp.Get()
+				got := drive(p, 350)
+				for i := range want {
+					if got[i] != want[i] {
+						panic("pooled run diverged from reference")
+					}
+				}
+				cp.Put(p)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/circuit"
 )
@@ -136,31 +137,97 @@ func boardBypassR(c Config) float64 {
 	return 200 * math.Sqrt(c.LMB/c.CMB)
 }
 
-// PDN is a live transient simulation of a configured network.
-type PDN struct {
+// Compiled is a platform-lifetime compiled form of one (Config, dt)
+// pair: the netlist is built and the MNA system factored exactly once,
+// after which fresh per-run simulation states are a few slice copies.
+// It also pools released states so hot evaluation loops (the GA's
+// fitness path) reuse their RHS and companion buffers instead of
+// reallocating them every run. A Compiled is safe for concurrent use.
+type Compiled struct {
 	cfg     Config
-	tr      *circuit.Transient
+	dt      float64
+	ccp     *circuit.Compiled
 	die     circuit.Node
 	sinkRef int
-	dt      float64
+	vrmRef  int
+	pool    sync.Pool // *PDN, state dirty until Reset
 }
 
-// New compiles a transient PDN simulation with time step dt seconds
+// Compile validates and compiles a network for time step dt seconds
 // (one CPU clock cycle, typically).
-func New(cfg Config, dt float64) (*PDN, error) {
+func Compile(cfg Config, dt float64) (*Compiled, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	ckt, die := cfg.build()
-	tr, err := circuit.NewTransient(ckt, dt)
+	ccp, err := circuit.Compile(ckt, dt)
 	if err != nil {
 		return nil, fmt.Errorf("pdn: %s: %w", cfg.Name, err)
 	}
-	ref, err := tr.SourceRef("sink")
+	// Resolve source references once; every state shares the indices.
+	probe := ccp.NewState()
+	sinkRef, err := probe.SourceRef("sink")
 	if err != nil {
 		return nil, err
 	}
-	return &PDN{cfg: cfg, tr: tr, die: die, sinkRef: ref, dt: dt}, nil
+	vrmRef, err := probe.SourceRef("vrm")
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{cfg: cfg, dt: dt, ccp: ccp, die: die, sinkRef: sinkRef, vrmRef: vrmRef}, nil
+}
+
+// Config returns the compiled network's configuration.
+func (cp *Compiled) Config() Config { return cp.cfg }
+
+// Dt returns the compiled simulation step in seconds.
+func (cp *Compiled) Dt() float64 { return cp.dt }
+
+// New returns a fresh simulation state at the network's DC operating
+// point, without touching the pool.
+func (cp *Compiled) New() *PDN {
+	return &PDN{cfg: cp.cfg, cp: cp, tr: cp.ccp.NewState(), die: cp.die, sinkRef: cp.sinkRef, vrmRef: cp.vrmRef, dt: cp.dt}
+}
+
+// Get returns a reset simulation state, reusing a pooled one when
+// available. Pair with Put to recycle scratch buffers across runs.
+func (cp *Compiled) Get() *PDN {
+	if p, ok := cp.pool.Get().(*PDN); ok && p != nil {
+		p.Reset()
+		return p
+	}
+	return cp.New()
+}
+
+// Put returns a state obtained from Get (or New) to the pool. The
+// caller must not use it afterwards.
+func (cp *Compiled) Put(p *PDN) {
+	if p != nil && p.cp == cp {
+		cp.pool.Put(p)
+	}
+}
+
+// PDN is a live transient simulation of a configured network.
+type PDN struct {
+	cfg     Config
+	cp      *Compiled // nil for states built by New(cfg, dt) directly
+	tr      *circuit.Transient
+	die     circuit.Node
+	sinkRef int
+	vrmRef  int
+	dt      float64
+}
+
+// New compiles a transient PDN simulation with time step dt seconds
+// (one CPU clock cycle, typically). Callers that run one network
+// repeatedly should Compile once and draw states from the compiled
+// handle instead; this convenience path compiles on every call.
+func New(cfg Config, dt float64) (*PDN, error) {
+	cp, err := Compile(cfg, dt)
+	if err != nil {
+		return nil, err
+	}
+	return cp.New(), nil
 }
 
 // Config returns the network's configuration.
@@ -168,6 +235,27 @@ func (p *PDN) Config() Config { return p.cfg }
 
 // Dt returns the simulation step in seconds.
 func (p *PDN) Dt() float64 { return p.dt }
+
+// Compiled returns the compiled handle backing this state.
+func (p *PDN) Compiled() *Compiled { return p.cp }
+
+// Reset restores the state to the DC operating point (nominal supply,
+// zero sink current) without allocating. A reset state is bit-identical
+// to a fresh one.
+func (p *PDN) Reset() { p.tr.Reset() }
+
+// Clone returns an independent copy of the live state. Cloning a
+// regulator-settled state is how the testbed caches the expensive
+// supply settle across repeated voltage-at-failure runs.
+func (p *PDN) Clone() *PDN {
+	out := *p
+	out.tr = p.tr.Clone()
+	return &out
+}
+
+// CopyStateFrom overwrites this state with src's; both must come from
+// the same Compiled handle.
+func (p *PDN) CopyStateFrom(src *PDN) { p.tr.CopyStateFrom(src.tr) }
 
 // Step advances one time step with the given die current draw in amps.
 func (p *PDN) Step(currentAmps float64) {
@@ -180,7 +268,7 @@ func (p *PDN) VDie() float64 { return p.tr.V(p.die) }
 
 // SetSupply changes the regulator set-point (used by the
 // voltage-at-failure procedure, which lowers Vdd in 12.5 mV steps).
-func (p *PDN) SetSupply(volts float64) { p.tr.MustSetSource("vrm", volts) }
+func (p *PDN) SetSupply(volts float64) { p.tr.SetSourceRef(p.vrmRef, volts) }
 
 // SimulateTrace runs a full current trace through a fresh PDN instance
 // and returns the die-voltage waveform. Both slices share index i ↔

@@ -49,6 +49,19 @@ func New(simHz, sampleHz float64, peakDetect bool) (*Scope, error) {
 	}, nil
 }
 
+// NewInto is New with a caller-provided sample buffer: the scope
+// appends into buf[:0], so hot evaluation paths can recycle waveform
+// storage across runs instead of growing a fresh slice every time. The
+// captured samples are unaffected by where they are stored.
+func NewInto(simHz, sampleHz float64, peakDetect bool, buf []float64) (*Scope, error) {
+	s, err := New(simHz, sampleHz, peakDetect)
+	if err != nil {
+		return nil, err
+	}
+	s.samples = buf[:0]
+	return s, nil
+}
+
 // Sample feeds one simulation-step voltage.
 func (s *Scope) Sample(v float64) {
 	s.n++

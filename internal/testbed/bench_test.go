@@ -1,0 +1,62 @@
+package testbed
+
+import "testing"
+
+// benchRunConfig is the voltage-at-failure probe workload: a reduced
+// supply (so every run pays the regulator settle) and a short measured
+// window — the shape of the runs that dominate AUDIT's search and
+// failure-voltage procedures.
+func benchRunConfig(b *testing.B, p Platform) RunConfig {
+	b.Helper()
+	period := resonancePeriodCycles(p)
+	threads, err := SpreadPlacement(p.Chip, mulLoop("bench", period), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return RunConfig{
+		Threads:      threads,
+		MaxCycles:    3000,
+		WarmupCycles: 1000,
+		SupplyVolts:  p.Nominal() - 0.10,
+	}
+}
+
+// BenchmarkEvalColdVsCompiled quantifies the fast path on repeated
+// runs of one platform. Cold rebuilds the chip, re-factors the PDN
+// matrix and re-settles the regulator every run (the pre-fast-path
+// behaviour); Compiled reuses all three through one CompiledPlatform.
+// The acceptance bar for this PR is ≥1.5× and fewer allocs/op.
+func BenchmarkEvalColdVsCompiled(b *testing.B) {
+	p := Bulldozer()
+
+	b.Run("Cold", func(b *testing.B) {
+		rc := benchRunConfig(b, p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(rc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("Compiled", func(b *testing.B) {
+		rc := benchRunConfig(b, p)
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime pools and the settle cache once; steady-state cost is
+		// what the GA loop pays.
+		if _, err := cp.Run(rc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cp.Run(rc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

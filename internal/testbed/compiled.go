@@ -1,0 +1,151 @@
+package testbed
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/pdn"
+)
+
+// CompiledPlatform is the evaluation fast path: the PDN system matrix
+// is factored once, chip instances and scope buffers are pooled, and
+// regulator settling at a given supply voltage is computed once and
+// replayed from a cached snapshot. Every Run is bit-identical to
+// Platform.Run on the same RunConfig — same droops, same failure
+// cycle, same statistics — it only skips redundant construction work.
+//
+// A CompiledPlatform is safe for concurrent use; the GA's Parallel
+// workers share one.
+type CompiledPlatform struct {
+	p   Platform
+	net *pdn.Compiled
+
+	chips sync.Pool // *cpu.Chip, dirty until Reset
+
+	// settled caches a regulator-settled PDN snapshot per exact supply
+	// voltage. The settle loop is deterministic, so replaying a clone
+	// of its output is bit-identical to settling afresh — and the
+	// voltage-at-failure procedure revisits the same float64 voltages
+	// run after run, so exact-key lookup hits.
+	mu      sync.Mutex
+	settled map[float64]*pdn.PDN
+
+	scopeBufs sync.Pool // []float64 waveform storage
+}
+
+// Compile validates the platform once and builds the shared immutable
+// state behind the fast path.
+func (p Platform) Compile() (*CompiledPlatform, error) {
+	net, err := pdn.Compile(p.PDN, p.Chip.CycleSeconds())
+	if err != nil {
+		return nil, err
+	}
+	chip, err := cpu.NewChip(p.Chip, p.Power)
+	if err != nil {
+		return nil, err
+	}
+	cp := &CompiledPlatform{p: p, net: net, settled: map[float64]*pdn.PDN{}}
+	cp.chips.Put(chip)
+	return cp, nil
+}
+
+// Platform returns the immutable platform description.
+func (cp *CompiledPlatform) Platform() Platform { return cp.p }
+
+// Nominal returns the platform's nominal supply voltage.
+func (cp *CompiledPlatform) Nominal() float64 { return cp.p.PDN.VNom }
+
+// getChip returns a reset pooled chip, or builds one.
+func (cp *CompiledPlatform) getChip() (*cpu.Chip, error) {
+	if ch, ok := cp.chips.Get().(*cpu.Chip); ok && ch != nil {
+		ch.Reset()
+		return ch, nil
+	}
+	return cpu.NewChip(cp.p.Chip, cp.p.Power)
+}
+
+// getNet returns a pooled PDN state ready for measurement: at the DC
+// operating point for nominal runs, or settled at the requested supply
+// (from the snapshot cache when this voltage has been settled before).
+func (cp *CompiledPlatform) getNet(supplyOverride float64) *pdn.PDN {
+	net := cp.net.Get()
+	if supplyOverride <= 0 {
+		return net
+	}
+	cp.mu.Lock()
+	tmpl := cp.settled[supplyOverride]
+	cp.mu.Unlock()
+	if tmpl == nil {
+		cp.p.settle(net, supplyOverride)
+		tmpl = net.Clone()
+		cp.mu.Lock()
+		cp.settled[supplyOverride] = tmpl
+		cp.mu.Unlock()
+		return net
+	}
+	net.CopyStateFrom(tmpl)
+	return net
+}
+
+// Run executes one measurement through the fast path. The result is
+// bit-identical to Platform.Run(rc).
+func (cp *CompiledPlatform) Run(rc RunConfig) (*Measurement, error) {
+	if len(rc.Threads) == 0 {
+		return nil, fmt.Errorf("testbed: no threads to run")
+	}
+	chip, err := cp.getChip()
+	if err != nil {
+		return nil, err
+	}
+	if err := cp.p.attachThreads(chip, rc); err != nil {
+		return nil, err
+	}
+	supply := cp.p.PDN.VNom
+	if rc.SupplyVolts > 0 {
+		supply = rc.SupplyVolts
+	}
+	net := cp.getNet(rc.SupplyVolts)
+
+	var buf []float64
+	if rc.RecordWaveform {
+		if b, ok := cp.scopeBufs.Get().([]float64); ok {
+			buf = b
+		}
+	}
+	m, err := cp.p.measure(chip, net, rc, supply, buf)
+	if m != nil && m.Waveform != nil {
+		// The scope filled pooled storage; hand the caller a private
+		// copy and recycle the backing buffer.
+		w := m.Waveform
+		m.Waveform = append([]float64(nil), w...)
+		cp.scopeBufs.Put(w[:0])
+	}
+	if err == nil {
+		cp.net.Put(net)
+		cp.chips.Put(chip)
+	}
+	return m, err
+}
+
+// FindFailureVoltage is Platform.FindFailureVoltage on the fast path:
+// each probe voltage's regulator settle is computed once and replayed
+// for every later visit, which is where most of the procedure's time
+// goes. Results are bit-identical to the slow path.
+func (cp *CompiledPlatform) FindFailureVoltage(rc RunConfig, floor float64) (float64, bool, error) {
+	if floor <= 0 || floor >= cp.p.PDN.VNom {
+		return 0, false, fmt.Errorf("testbed: floor %g out of range", floor)
+	}
+	for v := cp.p.PDN.VNom; v >= floor; v -= FailureStep {
+		cfg := rc
+		cfg.SupplyVolts = v
+		m, err := cp.Run(cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		if m.Failed {
+			return v, true, nil
+		}
+	}
+	return floor, false, nil
+}

@@ -147,7 +147,10 @@ type Measurement struct {
 // Nominal returns the platform's nominal supply voltage.
 func (p Platform) Nominal() float64 { return p.PDN.VNom }
 
-// Run executes one measurement.
+// Run executes one measurement, building fresh chip and PDN state.
+// Hot loops that run one platform repeatedly should Compile the
+// platform and use CompiledPlatform.Run, which produces bit-identical
+// measurements from pooled state.
 func (p Platform) Run(rc RunConfig) (*Measurement, error) {
 	if len(rc.Threads) == 0 {
 		return nil, fmt.Errorf("testbed: no threads to run")
@@ -156,39 +159,63 @@ func (p Platform) Run(rc RunConfig) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p.attachThreads(chip, rc); err != nil {
+		return nil, err
+	}
+	net, err := pdn.New(p.PDN, p.Chip.CycleSeconds())
+	if err != nil {
+		return nil, err
+	}
+	supply := p.PDN.VNom
+	if rc.SupplyVolts > 0 {
+		supply = rc.SupplyVolts
+		p.settle(net, supply)
+	}
+	return p.measure(chip, net, rc, supply, nil)
+}
+
+// attachThreads validates and places the run's threads on the chip and
+// applies the run-level FP throttle.
+func (p Platform) attachThreads(chip *cpu.Chip, rc RunConfig) error {
 	for _, ts := range rc.Threads {
 		if err := p.checkISASupport(ts.Program); err != nil {
-			return nil, err
+			return err
 		}
 		th, err := cpu.NewThread(ts.Program, ts.MaxInstrs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := chip.Attach(ts.Module, ts.Core, th); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if rc.FPThrottle > 0 {
 		chip.SetFPThrottle(rc.FPThrottle)
 	}
+	return nil
+}
 
+// settleSteps is how long the regulator is given to settle at a new
+// set-point before the threads start drawing current.
+const settleSteps = 20000
+
+// settle moves the regulator to a new set-point and steps the idle
+// network (leakage only) until it settles.
+func (p Platform) settle(net *pdn.PDN, supply float64) {
+	net.SetSupply(supply)
+	leak := p.Power.LeakageAmps(p.Chip.Modules, supply)
+	for i := 0; i < settleSteps; i++ {
+		net.Step(leak)
+	}
+}
+
+// measure is the shared cycle loop behind Platform.Run and
+// CompiledPlatform.Run: chip and net must already be attached and
+// settled. scopeBuf, when non-nil, backs the waveform capture so
+// pooled callers can recycle it.
+func (p Platform) measure(chip *cpu.Chip, net *pdn.PDN, rc RunConfig, supply float64, scopeBuf []float64) (*Measurement, error) {
 	dt := p.Chip.CycleSeconds()
-	net, err := pdn.New(p.PDN, dt)
-	if err != nil {
-		return nil, err
-	}
 	vNom := p.PDN.VNom
-	supply := vNom
-	if rc.SupplyVolts > 0 {
-		supply = rc.SupplyVolts
-		net.SetSupply(supply)
-		// Let the regulator settle at the new set-point before the
-		// threads start drawing current.
-		leak := p.Power.LeakageAmps(p.Chip.Modules, supply)
-		for i := 0; i < 20000; i++ {
-			net.Step(leak)
-		}
-	}
 
 	// Apply start skews as initial decode stalls.
 	for _, ts := range rc.Threads {
@@ -206,10 +233,11 @@ func (p Platform) Run(rc RunConfig) (*Measurement, error) {
 		if rate <= 0 {
 			rate = p.Chip.ClockHz
 		}
-		sc, err = scope.New(p.Chip.ClockHz, rate, true)
+		s, err := scope.NewInto(p.Chip.ClockHz, rate, true, scopeBuf)
 		if err != nil {
 			return nil, err
 		}
+		sc = s
 	}
 	var trig *scope.Trigger
 	if rc.TriggerThreshold > 0 {

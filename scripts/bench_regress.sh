@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Benchmark regression gate for the evaluation fast path.
+#
+#   scripts/bench_regress.sh            diff against BENCH_eval.json (exit 1 on regression)
+#   scripts/bench_regress.sh --capture  rewrite BENCH_eval.json from this machine
+#
+# Env knobs: BENCHTIME (default 2s), MAX_REGRESS (fractional ns/op slack,
+# default 0.25). allocs/op gets only benchdiff's tight default slack —
+# per-eval allocation counts are deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -run '^$' -bench 'BenchmarkEvalColdVsCompiled|BenchmarkGARunMemoized' \
+  -benchmem -benchtime "${BENCHTIME:-2s}" -count=1 \
+  ./internal/testbed/ ./internal/core/ | tee "$out"
+
+if [ "${1:-}" = "--capture" ]; then
+  go run ./cmd/benchdiff -capture BENCH_eval.json \
+    -note "captured by scripts/bench_regress.sh --capture; ns/op is machine-relative, allocs/op is not" <"$out"
+else
+  go run ./cmd/benchdiff -baseline BENCH_eval.json -max-regress "${MAX_REGRESS:-0.25}" <"$out"
+fi

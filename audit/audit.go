@@ -26,8 +26,11 @@
 package audit
 
 import (
+	"context"
+
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ga"
 	"repro/internal/isa"
 	"repro/internal/pdn"
@@ -53,6 +56,16 @@ type (
 	ThreadSpec = testbed.ThreadSpec
 	// DitherSpec applies periodic alignment padding to one core.
 	DitherSpec = testbed.DitherSpec
+	// Runner is anything that can execute a measurement run — a
+	// Platform, a CompiledPlatform, or a FaultInjector wrapping either.
+	Runner = testbed.Runner
+
+	// FaultConfig describes a lab-fault model (rates and amplitudes).
+	FaultConfig = faults.Config
+	// FaultInjector wraps a Runner with deterministic injected faults.
+	FaultInjector = faults.Injector
+	// FaultStats counts what an injector did.
+	FaultStats = faults.Stats
 
 	// Options configures stressmark generation.
 	Options = core.Options
@@ -103,7 +116,16 @@ func PhenomPlatform() Platform { return testbed.Phenom() }
 
 // Generate runs the AUDIT flow: optional resonance detection, then the
 // genetic search with droop measured on the platform as fitness.
-func Generate(opt Options) (*Stressmark, error) { return core.Generate(opt) }
+func Generate(opt Options) (*Stressmark, error) {
+	return core.Generate(context.Background(), opt)
+}
+
+// GenerateContext is Generate with cancellation: ctx stops the search
+// between evaluations. Combined with Options.CheckpointPath, an
+// interrupted search resumes losslessly via Options.Resume.
+func GenerateContext(ctx context.Context, opt Options) (*Stressmark, error) {
+	return core.Generate(ctx, opt)
+}
 
 // MeasureDroop runs a program on n spatially-spread threads at nominal
 // supply and returns the measurement.
@@ -182,7 +204,7 @@ func DefaultSuite(p Platform) []SuiteScenario { return core.DefaultSuite(p) }
 // GenerateSuite runs AUDIT once per scenario — "a suite of stressmarks
 // that can effectively exercise all significant usage scenarios".
 func GenerateSuite(p Platform, scenarios []SuiteScenario, base Options) ([]*Stressmark, error) {
-	return core.GenerateSuite(p, scenarios, base)
+	return core.GenerateSuite(context.Background(), p, scenarios, base)
 }
 
 // HeteroStressmark is the per-thread output of GenerateHetero.
@@ -192,12 +214,46 @@ type HeteroStressmark = core.HeteroStressmark
 // sibling threads may specialise (e.g. FP-heavy next to integer-heavy)
 // to negotiate shared resources, an extension of the paper's
 // homogeneous generation.
-func GenerateHetero(opt Options) (*HeteroStressmark, error) { return core.GenerateHetero(opt) }
+func GenerateHetero(opt Options) (*HeteroStressmark, error) {
+	return core.GenerateHetero(context.Background(), opt)
+}
+
+// GenerateHeteroContext is GenerateHetero with cancellation, as
+// GenerateContext is for Generate.
+func GenerateHeteroContext(ctx context.Context, opt Options) (*HeteroStressmark, error) {
+	return core.GenerateHetero(ctx, opt)
+}
 
 // LoadStressmark reads a checkpoint written by (*Stressmark).Save; the
 // returned genome population can seed a follow-up Generate via
 // Options.SeedGenomes to resume the search.
 var LoadStressmark = core.LoadStressmark
+
+// SearchCheckpoint is a mid-search snapshot written each generation
+// when Options.CheckpointPath is set; LoadSearchCheckpoint reads one
+// back for Options.Resume. IsSearchCheckpoint sniffs whether a JSON
+// blob is a search checkpoint (vs a saved stressmark).
+type SearchCheckpoint = core.SearchCheckpoint
+
+var (
+	LoadSearchCheckpoint = core.LoadSearchCheckpoint
+	IsSearchCheckpoint   = core.IsSearchCheckpoint
+)
+
+// WriteFileAtomic writes a file via temp-and-rename so crashes never
+// leave a truncated artifact in place of a good one.
+var WriteFileAtomic = core.WriteFileAtomic
+
+// LabFaults returns the default lab-fault model (transient capture
+// losses, waveform dropouts, scope noise, launch skew, VRM drift,
+// throttling episodes) seeded for reproducibility. Wire it into a
+// search via Options.WrapRunner with NewFaultInjector.
+func LabFaults(seed int64) FaultConfig { return faults.Lab(seed) }
+
+// NewFaultInjector wraps r with the configured fault model.
+func NewFaultInjector(cfg FaultConfig, r Runner) (*FaultInjector, error) {
+	return faults.New(cfg, r)
+}
 
 // ParseProgram assembles NASM-flavoured text.
 func ParseProgram(src string) (*Program, error) { return asm.Parse(src) }

@@ -7,143 +7,169 @@
 //
 //	audit [flags]
 //
-//	-platform  bulldozer | phenom            (default bulldozer)
-//	-threads   homogeneous thread count      (default 4)
-//	-mode      resonance | excitation        (default resonance)
-//	-loop      loop length in cycles; 0 = auto resonance sweep
-//	-subblock  hierarchical sub-block size K (default 6)
-//	-throttle  FP issue cap during generation (0 = off)
-//	-pop       GA population                 (default 14)
-//	-gens      GA max generations            (default 14)
-//	-seed      RNG seed                      (default 1)
-//	-o         write the stressmark assembly to this file
-//	-obj       write the binary object image to this file
+//	-platform   bulldozer | phenom            (default bulldozer)
+//	-threads    homogeneous thread count      (default 4)
+//	-mode       resonance | excitation        (default resonance)
+//	-loop       loop length in cycles; 0 = auto resonance sweep
+//	-subblock   hierarchical sub-block size K (default 6)
+//	-throttle   FP issue cap during generation (0 = off)
+//	-pop        GA population                 (default 14)
+//	-gens       GA max generations            (default 14)
+//	-seed       RNG seed                      (default 1)
+//	-o          write the stressmark assembly to this file
+//	-obj        write the binary object image to this file
+//	-save       write the finished stressmark (winner + population) here
+//	-checkpoint write a mid-search checkpoint here every generation
+//	-resume     continue from a -checkpoint or -save file
+//	-faults     inject lab faults at this transient rate (0 = off)
+//
+// A search with -checkpoint survives Ctrl-C: the interrupted run exits
+// cleanly and `audit -resume <checkpoint>` finishes it bit-identically
+// to an uninterrupted run.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/audit"
 	"repro/internal/report"
 )
 
+type cliOptions struct {
+	platform, mode         string
+	threads, loop          int
+	subblock, throttle     int
+	pop, gens              int
+	seed                   int64
+	outAsm, outObj, saveTo string
+	checkpoint, resume     string
+	faultRate              float64
+	hetero                 bool
+}
+
 func main() {
-	var (
-		platform = flag.String("platform", "bulldozer", "bulldozer or phenom")
-		threads  = flag.Int("threads", 4, "homogeneous thread count")
-		mode     = flag.String("mode", "resonance", "resonance or excitation")
-		loop     = flag.Int("loop", 0, "loop length in cycles (0 = auto sweep)")
-		subblock = flag.Int("subblock", 6, "hierarchical sub-block cycles")
-		throttle = flag.Int("throttle", 0, "FP throttle limit during generation")
-		pop      = flag.Int("pop", 14, "GA population size")
-		gens     = flag.Int("gens", 14, "GA max generations")
-		seed     = flag.Int64("seed", 1, "random seed")
-		outAsm   = flag.String("o", "", "write NASM-style assembly here")
-		outObj   = flag.String("obj", "", "write binary object image here")
-		saveTo   = flag.String("save", "", "write a resumable checkpoint (winner + population) here")
-		resume   = flag.String("resume", "", "resume the search from a checkpoint written by -save")
-		hetero   = flag.Bool("hetero", false, "give each thread its own genome (resonance mode only)")
-	)
+	var c cliOptions
+	flag.StringVar(&c.platform, "platform", "bulldozer", "bulldozer or phenom")
+	flag.IntVar(&c.threads, "threads", 4, "homogeneous thread count")
+	flag.StringVar(&c.mode, "mode", "resonance", "resonance or excitation")
+	flag.IntVar(&c.loop, "loop", 0, "loop length in cycles (0 = auto sweep)")
+	flag.IntVar(&c.subblock, "subblock", 6, "hierarchical sub-block cycles")
+	flag.IntVar(&c.throttle, "throttle", 0, "FP throttle limit during generation")
+	flag.IntVar(&c.pop, "pop", 14, "GA population size")
+	flag.IntVar(&c.gens, "gens", 14, "GA max generations")
+	flag.Int64Var(&c.seed, "seed", 1, "random seed")
+	flag.StringVar(&c.outAsm, "o", "", "write NASM-style assembly here")
+	flag.StringVar(&c.outObj, "obj", "", "write binary object image here")
+	flag.StringVar(&c.saveTo, "save", "", "write the finished stressmark (winner + population) here")
+	flag.StringVar(&c.checkpoint, "checkpoint", "", "write a mid-search checkpoint here every generation")
+	flag.StringVar(&c.resume, "resume", "", "resume from a -checkpoint or -save file")
+	flag.Float64Var(&c.faultRate, "faults", 0, "inject lab faults at this transient rate (0 = off)")
+	flag.BoolVar(&c.hetero, "hetero", false, "give each thread its own genome (resonance mode only)")
 	flag.Parse()
-	if err := run(*platform, *threads, *mode, *loop, *subblock, *throttle, *pop, *gens, *seed, *outAsm, *outObj, *saveTo, *resume, *hetero); err != nil {
+
+	// Ctrl-C cancels the search between evaluations instead of killing
+	// the process mid-write; with -checkpoint the run is resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, c)
+	if errors.Is(err, context.Canceled) {
+		if c.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "audit: interrupted; resume with -resume %s\n", c.checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "audit: interrupted (use -checkpoint to make searches resumable)")
+		}
+		os.Exit(130)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform string, threads int, mode string, loop, subblock, throttle, pop, gens int, seed int64, outAsm, outObj, saveTo, resume string, hetero bool) error {
+func run(ctx context.Context, c cliOptions) error {
 	var plat audit.Platform
-	switch platform {
+	switch c.platform {
 	case "bulldozer":
 		plat = audit.BulldozerPlatform()
 	case "phenom":
 		plat = audit.PhenomPlatform()
 	default:
-		return fmt.Errorf("unknown platform %q", platform)
+		return fmt.Errorf("unknown platform %q", c.platform)
 	}
 	var m audit.Mode
-	switch mode {
+	switch c.mode {
 	case "resonance":
 		m = audit.Resonance
 	case "excitation":
 		m = audit.Excitation
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
-	}
-
-	var seedGenomes []audit.Genome
-	if resume != "" {
-		f, err := os.Open(resume)
-		if err != nil {
-			return err
-		}
-		prev, pop, err := audit.LoadStressmark(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		seedGenomes = pop
-		if loop == 0 {
-			loop = prev.LoopCycles
-		}
-		fmt.Printf("resuming from %s: %d genomes, previous best %.1f mV\n",
-			resume, len(pop), prev.DroopV*1e3)
+		return fmt.Errorf("unknown mode %q", c.mode)
 	}
 
 	opts := audit.Options{
-		SeedGenomes:    seedGenomes,
 		Platform:       plat,
-		Threads:        threads,
+		Threads:        c.threads,
 		Mode:           m,
-		LoopCycles:     loop,
-		SubBlockCycles: subblock,
-		FPThrottle:     throttle,
+		LoopCycles:     c.loop,
+		SubBlockCycles: c.subblock,
+		FPThrottle:     c.throttle,
+		CheckpointPath: c.checkpoint,
 		GA: audit.GAConfig{
-			PopSize: pop, Elites: 2, TournamentK: 3,
-			MutationProb: 0.6, MaxGenerations: gens, StagnantLimit: 6,
-			Seed: seed,
+			PopSize: c.pop, Elites: 2, TournamentK: 3,
+			MutationProb: 0.6, MaxGenerations: c.gens, StagnantLimit: 6,
+			Seed: c.seed,
 		},
-		Seed: seed,
-		Name: fmt.Sprintf("A-%s-%dT", mode, threads),
+		Seed: c.seed,
+		Name: fmt.Sprintf("A-%s-%dT", c.mode, c.threads),
 	}
 
-	if hetero {
-		if loop == 0 {
-			return fmt.Errorf("-hetero needs an explicit -loop (run cmd/resonance first)")
-		}
-		fmt.Printf("generating heterogeneous %s stressmark for %s (%dT)...\n",
-			mode, plat.Chip.Name, threads)
-		hsm, err := audit.GenerateHetero(opts)
-		if err != nil {
+	if c.resume != "" {
+		if err := loadResume(c.resume, &opts); err != nil {
 			return err
 		}
-		fmt.Printf("GA: %d evaluations", hsm.Search.Evaluations)
-		if hits, misses := hsm.Search.CacheHits, hsm.Search.CacheMisses; hits+misses > 0 {
-			fmt.Printf(" (fitness cache: %d hits / %d misses)", hits, misses)
-		}
-		fmt.Println()
-		fmt.Printf("best droop: %s; per-thread programs:\n", report.MilliVolts(hsm.DroopV))
-		for i, prog := range hsm.Programs {
-			fmt.Printf("  thread %d: %d instructions, FP fraction %.0f%%\n",
-				i, prog.Len(), 100*prog.FPFraction())
-		}
-		if outAsm != "" {
-			for i, prog := range hsm.Programs {
-				name := fmt.Sprintf("%s.t%d", outAsm, i)
-				if err := os.WriteFile(name, []byte(prog.Text()), 0o644); err != nil {
-					return err
-				}
+	}
+
+	var injector *audit.FaultInjector
+	if c.faultRate > 0 {
+		// Scale the lab preset so -faults sets the transient-loss rate
+		// and the other nuisances follow proportionally.
+		fc := audit.LabFaults(c.seed)
+		scale := c.faultRate / fc.TransientRate
+		fc.TransientRate = c.faultRate
+		fc.DropoutRate *= scale
+		fc.ThrottleRate *= scale
+		opts.WrapRunner = func(r audit.Runner) audit.Runner {
+			in, err := audit.NewFaultInjector(fc, r)
+			if err != nil {
+				panic(err) // validated above: rate in (0,1]
 			}
-			fmt.Printf("per-thread assembly written to %s.t*\n", outAsm)
+			injector = in
+			return in
 		}
-		return nil
+		// Resilience policy to absorb the injected faults.
+		opts.GA.MaxRetries = 4
+		opts.GA.DegradeFailures = true
+		fmt.Printf("fault injection on: transient rate %.0f%%, retries %d\n",
+			100*c.faultRate, opts.GA.MaxRetries)
+	}
+
+	if c.hetero {
+		return runHetero(ctx, c, plat, opts, injectorStats(&injector))
 	}
 
 	fmt.Printf("generating %s stressmark for %s (%dT, throttle=%d)...\n",
-		mode, plat.Chip.Name, threads, throttle)
-	sm, err := audit.Generate(opts)
+		c.mode, plat.Chip.Name, c.threads, c.throttle)
+	sm, err := audit.GenerateContext(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -163,43 +189,151 @@ func run(platform string, threads int, mode string, loop, subblock, throttle, po
 			hits, misses, 100*float64(hits)/float64(hits+misses))
 	}
 	fmt.Println()
+	printResilience(sm.Search.Retries, sm.Search.TimedOut, sm.Search.Degraded, injector)
 	fmt.Println(report.BarChart("best droop by generation (mV)",
 		genLabels(len(sm.Search.History)), scale(sm.Search.History, 1e3), 40))
 	fmt.Printf("best droop: %s (%.1f%% of nominal)\n",
 		report.MilliVolts(sm.DroopV), 100*sm.DroopV/plat.Nominal())
 
-	if outAsm != "" {
-		if err := os.WriteFile(outAsm, []byte(sm.Program.Text()), 0o644); err != nil {
+	if c.outAsm != "" {
+		if err := writeFileAtomic(c.outAsm, []byte(sm.Program.Text())); err != nil {
 			return err
 		}
-		fmt.Println("assembly written to", outAsm)
+		fmt.Println("assembly written to", c.outAsm)
 	}
-	if outObj != "" {
+	if c.outObj != "" {
 		blob, err := audit.EncodeProgram(sm.Program)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(outObj, blob, 0o644); err != nil {
+		if err := writeFileAtomic(c.outObj, blob); err != nil {
 			return err
 		}
-		fmt.Println("object image written to", outObj)
+		fmt.Println("object image written to", c.outObj)
 	}
-	if saveTo != "" {
-		f, err := os.Create(saveTo)
-		if err != nil {
+	if c.saveTo != "" {
+		if err := sm.SaveFile(c.saveTo); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := sm.Save(f); err != nil {
-			return err
-		}
-		fmt.Println("checkpoint written to", saveTo)
+		fmt.Println("stressmark written to", c.saveTo)
 	}
-	if outAsm == "" {
+	if c.outAsm == "" {
 		fmt.Println("\n--- generated stressmark ---")
 		fmt.Print(sm.Program.Text())
 	}
 	return nil
+}
+
+func runHetero(ctx context.Context, c cliOptions, plat audit.Platform, opts audit.Options, stats func() *audit.FaultStats) error {
+	if opts.LoopCycles == 0 && opts.Resume == nil {
+		return fmt.Errorf("-hetero needs an explicit -loop (run cmd/resonance first)")
+	}
+	fmt.Printf("generating heterogeneous %s stressmark for %s (%dT)...\n",
+		c.mode, plat.Chip.Name, c.threads)
+	hsm, err := audit.GenerateHeteroContext(ctx, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GA: %d evaluations", hsm.Search.Evaluations)
+	if hits, misses := hsm.Search.CacheHits, hsm.Search.CacheMisses; hits+misses > 0 {
+		fmt.Printf(" (fitness cache: %d hits / %d misses)", hits, misses)
+	}
+	fmt.Println()
+	if s := stats(); s != nil {
+		printResilienceStats(hsm.Search.Retries, hsm.Search.TimedOut, hsm.Search.Degraded, s)
+	}
+	fmt.Printf("best droop: %s; per-thread programs:\n", report.MilliVolts(hsm.DroopV))
+	for i, prog := range hsm.Programs {
+		fmt.Printf("  thread %d: %d instructions, FP fraction %.0f%%\n",
+			i, prog.Len(), 100*prog.FPFraction())
+	}
+	if c.outAsm != "" {
+		for i, prog := range hsm.Programs {
+			name := fmt.Sprintf("%s.t%d", c.outAsm, i)
+			if err := writeFileAtomic(name, []byte(prog.Text())); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("per-thread assembly written to %s.t*\n", c.outAsm)
+	}
+	return nil
+}
+
+// loadResume points opts at a previous run's state. Both artifact kinds
+// are accepted: a -checkpoint file resumes the search losslessly
+// mid-flight; a -save file seeds a fresh search with the old
+// population (the pre-checkpoint behaviour).
+func loadResume(path string, opts *audit.Options) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if audit.IsSearchCheckpoint(blob) {
+		ck, err := audit.LoadSearchCheckpoint(bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		opts.Resume = ck
+		fmt.Printf("resuming search from %s (generation %d)\n", path, searchGen(ck))
+		return nil
+	}
+	prev, pop, err := audit.LoadStressmark(bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	opts.SeedGenomes = pop
+	if opts.LoopCycles == 0 {
+		opts.LoopCycles = prev.LoopCycles
+	}
+	fmt.Printf("seeding from %s: %d genomes, previous best %.1f mV\n",
+		path, len(pop), prev.DroopV*1e3)
+	return nil
+}
+
+// searchGen peeks the generation counter out of the opaque GA state.
+func searchGen(ck *audit.SearchCheckpoint) int {
+	var probe struct {
+		Gen int `json:"gen"`
+	}
+	_ = json.Unmarshal(ck.GA, &probe)
+	return probe.Gen
+}
+
+func injectorStats(in **audit.FaultInjector) func() *audit.FaultStats {
+	return func() *audit.FaultStats {
+		if *in == nil {
+			return nil
+		}
+		s := (*in).Stats()
+		return &s
+	}
+}
+
+func printResilience(retries, timedOut, degraded int, in *audit.FaultInjector) {
+	if in == nil {
+		if retries+timedOut+degraded > 0 {
+			fmt.Printf("resilience: %d retries, %d timeouts, %d degraded evaluations\n",
+				retries, timedOut, degraded)
+		}
+		return
+	}
+	s := in.Stats()
+	printResilienceStats(retries, timedOut, degraded, &s)
+}
+
+func printResilienceStats(retries, timedOut, degraded int, s *audit.FaultStats) {
+	fmt.Printf("faults: %d runs, %d transient losses (%d dropouts), %d throttled, %d skewed\n",
+		s.Runs, s.Transients, s.Dropouts, s.Throttled, s.Skewed)
+	fmt.Printf("resilience: %d retries, %d timeouts, %d degraded evaluations\n",
+		retries, timedOut, degraded)
+}
+
+// writeFileAtomic is audit.WriteFileAtomic for byte blobs.
+func writeFileAtomic(path string, blob []byte) error {
+	return audit.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	})
 }
 
 func genLabels(n int) []string {

@@ -77,14 +77,10 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, sm := range marks {
-		f, err := os.Create(fmt.Sprintf("%s/%s.json", dir, sm.Name))
-		if err != nil {
+		// Atomic write: a crash mid-save never leaves a torn checkpoint.
+		if err := sm.SaveFile(fmt.Sprintf("%s/%s.json", dir, sm.Name)); err != nil {
 			log.Fatal(err)
 		}
-		if err := sm.Save(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
 	}
 	fmt.Printf("\nsuite checkpoints written to %s\n", dir)
 }

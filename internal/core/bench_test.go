@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ga"
@@ -12,7 +13,7 @@ import (
 // variant gets realistic duplicate traffic to exploit.
 func benchGenerate(b *testing.B, noMemoize bool) *Stressmark {
 	b.Helper()
-	sm, err := Generate(Options{
+	sm, err := Generate(context.Background(), Options{
 		Platform:   testbed.Bulldozer(),
 		LoopCycles: 36,
 		GA: ga.Config{

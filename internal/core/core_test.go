@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math"
 	"math/rand"
@@ -291,7 +292,7 @@ func smallGA(seed int64) ga.Config {
 func TestGenerateResonantStressmark(t *testing.T) {
 	p := testbed.Bulldozer()
 	period := int(math.Round(p.Chip.ClockHz / p.PDN.FirstDroopNominal()))
-	sm, err := Generate(Options{
+	sm, err := Generate(context.Background(), Options{
 		Platform:      p,
 		LoopCycles:    period,
 		GA:            smallGA(5),
@@ -334,7 +335,7 @@ func TestGenerateResonantStressmark(t *testing.T) {
 
 func TestGenerateExcitationMode(t *testing.T) {
 	p := testbed.Bulldozer()
-	sm, err := Generate(Options{
+	sm, err := Generate(context.Background(), Options{
 		Platform:      p,
 		LoopCycles:    36,
 		Mode:          Excitation,
@@ -358,7 +359,7 @@ func TestGenerateExcitationMode(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	p := testbed.Bulldozer()
 	gen := func() float64 {
-		sm, err := Generate(Options{
+		sm, err := Generate(context.Background(), Options{
 			Platform:      p,
 			LoopCycles:    36,
 			GA:            smallGA(21),
@@ -385,14 +386,14 @@ func TestGenerateUnderThrottleCannotMatchUnthrottled(t *testing.T) {
 		PopSize: 10, Elites: 2, TournamentK: 3, MutationProb: 0.6,
 		MaxGenerations: 8, Seed: 13,
 	}
-	base, err := Generate(Options{
+	base, err := Generate(context.Background(), Options{
 		Platform: p, LoopCycles: 36, GA: gacfg,
 		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 13,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	throttled, err := Generate(Options{
+	throttled, err := Generate(context.Background(), Options{
 		Platform: p, LoopCycles: 36, GA: gacfg, FPThrottle: 1,
 		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 13,
 	})
@@ -432,7 +433,7 @@ func TestCostFunctions(t *testing.T) {
 
 func TestStressmarkSaveLoadResume(t *testing.T) {
 	p := testbed.Bulldozer()
-	sm, err := Generate(Options{
+	sm, err := Generate(context.Background(), Options{
 		Platform: p, LoopCycles: 36, GA: smallGA(41),
 		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 41, Name: "ckpt",
 	})
@@ -457,7 +458,7 @@ func TestStressmarkSaveLoadResume(t *testing.T) {
 		t.Errorf("population size = %d, want %d", len(pop), smallGA(41).PopSize)
 	}
 	// Resuming with the saved population must do at least as well.
-	resumed, err := Generate(Options{
+	resumed, err := Generate(context.Background(), Options{
 		Platform: p, LoopCycles: 36, GA: smallGA(43), SeedGenomes: pop,
 		MeasureCycles: 2500, WarmupCycles: 1500, Seed: 43, Name: "resumed",
 	})
@@ -495,7 +496,7 @@ func TestGenerateSuite(t *testing.T) {
 		t.Fatalf("default suite has %d scenarios, want 5", len(scenarios))
 	}
 	// Tiny budget: the point here is coverage of the scenario matrix.
-	marks, err := GenerateSuite(p, scenarios[:3], Options{
+	marks, err := GenerateSuite(context.Background(), p, scenarios[:3], Options{
 		GA:            smallGA(51),
 		LoopCycles:    36,
 		MeasureCycles: 2000,
@@ -516,14 +517,14 @@ func TestGenerateSuite(t *testing.T) {
 			t.Errorf("%s: no droop", sm.Name)
 		}
 	}
-	if _, err := GenerateSuite(p, nil, Options{}); err == nil {
+	if _, err := GenerateSuite(context.Background(), p, nil, Options{}); err == nil {
 		t.Error("empty suite accepted")
 	}
 }
 
 func TestGenerateHetero(t *testing.T) {
 	p := testbed.Bulldozer()
-	sm, err := GenerateHetero(Options{
+	sm, err := GenerateHetero(context.Background(), Options{
 		Platform: p, LoopCycles: 36, Threads: 8,
 		GA:            smallGA(61),
 		MeasureCycles: 2500, WarmupCycles: 1500,
@@ -560,10 +561,10 @@ func TestGenerateHetero(t *testing.T) {
 
 func TestGenerateHeteroValidation(t *testing.T) {
 	p := testbed.Bulldozer()
-	if _, err := GenerateHetero(Options{Platform: p, GA: smallGA(1), Threads: 2}); err == nil {
+	if _, err := GenerateHetero(context.Background(), Options{Platform: p, GA: smallGA(1), Threads: 2}); err == nil {
 		t.Error("missing LoopCycles accepted")
 	}
-	if _, err := GenerateHetero(Options{Platform: p, GA: smallGA(1), Threads: 2, LoopCycles: 36, Mode: Excitation}); err == nil {
+	if _, err := GenerateHetero(context.Background(), Options{Platform: p, GA: smallGA(1), Threads: 2, LoopCycles: 36, Mode: Excitation}); err == nil {
 		t.Error("excitation mode accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestGenerateParallelMatchesSerial(t *testing.T) {
 	gen := func(workers int) *Stressmark {
 		cfg := smallGA(7)
 		cfg.Parallel = workers
-		sm, err := Generate(Options{
+		sm, err := Generate(context.Background(), Options{
 			Platform:      p,
 			LoopCycles:    36,
 			GA:            cfg,
@@ -60,7 +61,7 @@ func TestGenerateMemoizationAccounting(t *testing.T) {
 	cfg := smallGA(3)
 	cfg.MaxGenerations = 5
 	cfg.MutationProb = 0.2 // low churn → crossover reproduces parents often
-	sm, err := Generate(Options{
+	sm, err := Generate(context.Background(), Options{
 		Platform:      p,
 		LoopCycles:    36,
 		GA:            cfg,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -58,8 +59,22 @@ type HeteroStressmark struct {
 // GenerateHetero runs the AUDIT flow with an independent genome per
 // thread. Options are interpreted as in Generate; LoopCycles must be
 // set (run a ResonanceSweep first, as Generate would).
-func GenerateHetero(opt Options) (*HeteroStressmark, error) {
+func GenerateHetero(ctx context.Context, opt Options) (*HeteroStressmark, error) {
 	opt.fillDefaults()
+	var gaResume *ga.Checkpoint[HeteroGenome]
+	if opt.Resume != nil {
+		var err error
+		gaResume, err = decodeGACheckpoint[HeteroGenome](opt.Resume, true)
+		if err != nil {
+			return nil, err
+		}
+		opt.LoopCycles = opt.Resume.LoopCycles
+		opt.Threads = opt.Resume.Threads
+		opt.Mode = Mode(opt.Resume.Mode)
+		if opt.Resume.Name != "" {
+			opt.Name = opt.Resume.Name
+		}
+	}
 	if opt.LoopCycles == 0 {
 		return nil, fmt.Errorf("core: heterogeneous generation needs an explicit LoopCycles")
 	}
@@ -105,6 +120,12 @@ func GenerateHetero(opt Options) (*HeteroStressmark, error) {
 	if err != nil {
 		return nil, err
 	}
+	var runner testbed.Runner = cp
+	if opt.WrapRunner != nil {
+		if runner = opt.WrapRunner(cp); runner == nil {
+			return nil, fmt.Errorf("core: WrapRunner returned nil")
+		}
+	}
 	eval := func(h HeteroGenome) (float64, error) {
 		progs, err := build(h)
 		if err != nil {
@@ -117,7 +138,7 @@ func GenerateHetero(opt Options) (*HeteroStressmark, error) {
 		for i := range specs {
 			specs[i].Program = progs[i]
 		}
-		m, err := cp.Run(testbed.RunConfig{
+		m, err := runner.Run(testbed.RunConfig{
 			Threads:      specs,
 			MaxCycles:    opt.WarmupCycles + opt.MeasureCycles,
 			WarmupCycles: opt.WarmupCycles,
@@ -191,7 +212,17 @@ func GenerateHetero(opt Options) (*HeteroStressmark, error) {
 		seeds = append(seeds, comp, homo)
 	}
 
-	res, err := ga.Run(opt.GA, ops, seeds, eval)
+	var sink func(*ga.Checkpoint[HeteroGenome]) error
+	if opt.CheckpointPath != "" {
+		sink = checkpointSink[HeteroGenome](opt.CheckpointPath, SearchCheckpoint{
+			Name:       opt.Name,
+			Hetero:     true,
+			Threads:    opt.Threads,
+			LoopCycles: opt.LoopCycles,
+			Mode:       int(opt.Mode),
+		})
+	}
+	res, err := ga.RunCheckpointed(ctx, opt.GA, ops, seeds, eval, gaResume, sink)
 	if err != nil {
 		return nil, fmt.Errorf("core: hetero GA: %w", err)
 	}

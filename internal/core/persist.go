@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/asm"
+	"repro/internal/ga"
 )
 
 // savedStressmark is the JSON wire form of a Stressmark checkpoint.
@@ -87,4 +90,128 @@ func LoadStressmark(r io.Reader) (*Stressmark, []Genome, error) {
 		Program:    prog,
 	}
 	return sm, in.Population, nil
+}
+
+// SaveFile writes the stressmark to path atomically: a half-written
+// file never replaces a good one, even if the process dies mid-save.
+func (sm *Stressmark) SaveFile(path string) error {
+	return WriteFileAtomic(path, sm.Save)
+}
+
+const (
+	checkpointKind    = "audit-search-checkpoint"
+	checkpointVersion = 1
+)
+
+// SearchCheckpoint is the on-disk envelope for a mid-search snapshot:
+// enough search identity to validate a resume (thread count, loop
+// length, mode, homogeneous vs heterogeneous) wrapped around the GA
+// engine's own generation checkpoint. Generate writes one per
+// generation when Options.CheckpointPath is set; passing the loaded
+// checkpoint back via Options.Resume replays the rest of the search
+// bit-identically to an uninterrupted run.
+type SearchCheckpoint struct {
+	Version    int    `json:"version"`
+	Kind       string `json:"kind"`
+	Name       string `json:"name"`
+	Hetero     bool   `json:"hetero"`
+	Threads    int    `json:"threads"`
+	LoopCycles int    `json:"loop_cycles"`
+	Mode       int    `json:"mode"`
+	// GA is the engine-level checkpoint (ga.Checkpoint[Genome] or
+	// [HeteroGenome], per Hetero), kept opaque here so the envelope can
+	// be inspected without knowing the genome type.
+	GA json.RawMessage `json:"ga"`
+}
+
+// LoadSearchCheckpoint reads a checkpoint written via
+// Options.CheckpointPath.
+func LoadSearchCheckpoint(r io.Reader) (*SearchCheckpoint, error) {
+	var ck SearchCheckpoint
+	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	if ck.Kind != checkpointKind {
+		return nil, fmt.Errorf("core: load checkpoint: kind %q is not %q", ck.Kind, checkpointKind)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: load checkpoint: unsupported version %d", ck.Version)
+	}
+	return &ck, nil
+}
+
+// IsSearchCheckpoint reports whether the blob looks like a
+// SearchCheckpoint (as opposed to a saved stressmark — both are JSON,
+// so cmd/audit sniffs before deciding how to resume).
+func IsSearchCheckpoint(blob []byte) bool {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	return json.Unmarshal(blob, &probe) == nil && probe.Kind == checkpointKind
+}
+
+// decodeGACheckpoint unwraps the engine checkpoint, validating that the
+// envelope matches the kind of search about to resume.
+func decodeGACheckpoint[G any](ck *SearchCheckpoint, hetero bool) (*ga.Checkpoint[G], error) {
+	if ck.Kind != checkpointKind {
+		return nil, fmt.Errorf("core: resume: kind %q is not %q", ck.Kind, checkpointKind)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: resume: unsupported checkpoint version %d", ck.Version)
+	}
+	if ck.Hetero != hetero {
+		want, got := "homogeneous", "heterogeneous"
+		if hetero {
+			want, got = got, want
+		}
+		return nil, fmt.Errorf("core: resume: checkpoint is from a %s search, this is a %s one", got, want)
+	}
+	var out ga.Checkpoint[G]
+	if err := json.Unmarshal(ck.GA, &out); err != nil {
+		return nil, fmt.Errorf("core: resume: GA state: %w", err)
+	}
+	return &out, nil
+}
+
+// checkpointSink returns a ga sink that wraps each engine checkpoint in
+// the identity envelope and writes it to path atomically.
+func checkpointSink[G any](path string, env SearchCheckpoint) func(*ga.Checkpoint[G]) error {
+	env.Version = checkpointVersion
+	env.Kind = checkpointKind
+	return func(ck *ga.Checkpoint[G]) error {
+		blob, err := json.Marshal(ck)
+		if err != nil {
+			return err
+		}
+		env.GA = blob
+		return WriteFileAtomic(path, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(&env)
+		})
+	}
+}
+
+// WriteFileAtomic writes via a temp file in path's directory and
+// renames it into place, so readers (and crash recovery) only ever see
+// complete files.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/testbed"
+)
+
+// chaosRate returns the transient-fault rate for injection tests:
+// the issue's 10%+ floor normally, amplified under AUDIT_CHAOS=1 (the
+// CI chaos job) to shake out rarer interleavings.
+func chaosRate() float64 {
+	if os.Getenv("AUDIT_CHAOS") != "" {
+		return 0.35
+	}
+	return 0.15
+}
+
+func TestGenerateSurvivesFaultInjection(t *testing.T) {
+	p := testbed.Bulldozer()
+	var injector *faults.Injector
+	cfg := smallGA(31)
+	cfg.MaxRetries = 4
+	cfg.DegradeFailures = true
+	sm, err := Generate(context.Background(), Options{
+		Platform:   p,
+		LoopCycles: 36,
+		GA:         cfg,
+		WrapRunner: func(r testbed.Runner) testbed.Runner {
+			fc := faults.Lab(31)
+			fc.TransientRate = chaosRate()
+			injector = faults.MustNew(fc, r)
+			return injector
+		},
+		MeasureCycles: 2500,
+		WarmupCycles:  1500,
+		Seed:          31,
+	})
+	if err != nil {
+		t.Fatalf("search aborted under fault injection: %v", err)
+	}
+	if sm.DroopV <= 0 {
+		t.Error("faulted search found no droop")
+	}
+	s := injector.Stats()
+	if s.Runs == 0 || s.Transients == 0 {
+		t.Fatalf("injector saw no faults: %+v", s)
+	}
+	if sm.Search.Retries == 0 {
+		t.Errorf("no retries recorded despite %d transient losses", s.Transients)
+	}
+}
+
+// cancelRunner cancels the search context after limit underlying runs,
+// simulating an operator hitting Ctrl-C mid-generation.
+type cancelRunner struct {
+	r      testbed.Runner
+	n      atomic.Int64
+	limit  int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelRunner) Run(rc testbed.RunConfig) (*testbed.Measurement, error) {
+	if c.n.Add(1) == c.limit {
+		c.cancel()
+	}
+	return c.r.Run(rc)
+}
+
+func TestCrashedSearchResumesBitIdentically(t *testing.T) {
+	p := testbed.Bulldozer()
+	dir := t.TempDir()
+	opts := func() Options {
+		return Options{
+			Platform:      p,
+			LoopCycles:    36,
+			GA:            smallGA(17),
+			MeasureCycles: 2500,
+			WarmupCycles:  1500,
+			Name:          "resume-test",
+			Seed:          17,
+		}
+	}
+
+	// Reference: the uninterrupted search.
+	full, err := Generate(context.Background(), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancelled mid-flight, checkpointing every
+	// generation.
+	ckPath := filepath.Join(dir, "search.ck")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := opts()
+	interrupted.CheckpointPath = ckPath
+	interrupted.WrapRunner = func(r testbed.Runner) testbed.Runner {
+		return &cancelRunner{r: r, limit: 20, cancel: cancel}
+	}
+	_, err = Generate(ctx, interrupted)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+
+	// Resume from the surviving checkpoint file.
+	f, err := os.Open(ckPath)
+	if err != nil {
+		t.Fatalf("no checkpoint survived the crash: %v", err)
+	}
+	ck, err := LoadSearchCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedOpts := opts()
+	resumedOpts.Resume = ck
+	resumed, err := Generate(context.Background(), resumedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resumed.DroopV != full.DroopV {
+		t.Errorf("resumed droop %v != uninterrupted %v", resumed.DroopV, full.DroopV)
+	}
+	if resumed.Genome.Fingerprint() != full.Genome.Fingerprint() {
+		t.Error("resumed winning genome differs from uninterrupted run")
+	}
+	if resumed.Program.Text() != full.Program.Text() {
+		t.Error("resumed program text differs from uninterrupted run")
+	}
+	if resumed.Search.Generations != full.Search.Generations {
+		t.Errorf("resumed generations %d != %d", resumed.Search.Generations, full.Search.Generations)
+	}
+	// Identity metadata travels in the envelope.
+	if resumed.Threads != full.Threads || resumed.LoopCycles != full.LoopCycles || resumed.Name != full.Name {
+		t.Errorf("search identity lost across resume: %+v vs %+v", resumed, full)
+	}
+}
+
+func TestResumeUnderFaultInjectionStaysBitIdentical(t *testing.T) {
+	// Faults + checkpointing together: the content-keyed injector makes
+	// the fault stream a function of what runs, not when, so a resumed
+	// search sees the same faults the uninterrupted one did.
+	p := testbed.Bulldozer()
+	dir := t.TempDir()
+	opts := func() Options {
+		cfg := smallGA(23)
+		cfg.MaxRetries = 4
+		cfg.DegradeFailures = true
+		return Options{
+			Platform:   p,
+			LoopCycles: 36,
+			GA:         cfg,
+			WrapRunner: func(r testbed.Runner) testbed.Runner {
+				fc := faults.Lab(23)
+				fc.TransientRate = chaosRate()
+				return faults.MustNew(fc, r)
+			},
+			MeasureCycles: 2500,
+			WarmupCycles:  1500,
+			Seed:          23,
+		}
+	}
+	ckPath := filepath.Join(dir, "faulty.ck")
+	withCk := opts()
+	withCk.CheckpointPath = ckPath
+	full, err := Generate(context.Background(), withCk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final checkpoint replays to the same winner.
+	f, err := os.Open(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadSearchCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedOpts := opts()
+	resumedOpts.Resume = ck
+	resumed, err := Generate(context.Background(), resumedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.DroopV != full.DroopV || resumed.Genome.Fingerprint() != full.Genome.Fingerprint() {
+		t.Error("fault-injected resume diverged from uninterrupted run")
+	}
+}
+
+func TestHeteroCheckpointResume(t *testing.T) {
+	p := testbed.Bulldozer()
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "hetero.ck")
+	opts := Options{
+		Platform:       p,
+		LoopCycles:     36,
+		Threads:        2,
+		GA:             smallGA(41),
+		CheckpointPath: ckPath,
+		MeasureCycles:  2500,
+		WarmupCycles:   1500,
+		Seed:           41,
+	}
+	full, err := GenerateHetero(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadSearchCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Hetero {
+		t.Fatal("hetero checkpoint not flagged")
+	}
+	// A homogeneous resume must refuse a heterogeneous checkpoint.
+	homo := opts
+	homo.CheckpointPath = ""
+	homo.Resume = ck
+	if _, err := Generate(context.Background(), homo); err == nil ||
+		!strings.Contains(err.Error(), "heterogeneous") {
+		t.Errorf("homogeneous Generate accepted a hetero checkpoint: %v", err)
+	}
+	het := opts
+	het.CheckpointPath = ""
+	het.Resume = ck
+	resumed, err := GenerateHetero(context.Background(), het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.DroopV != full.DroopV || resumed.Genome.Fingerprint() != full.Genome.Fingerprint() {
+		t.Error("hetero resume diverged")
+	}
+}
+
+func TestLoadSearchCheckpointRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"kind":"something-else","version":1}`,
+		`{"kind":"audit-search-checkpoint","version":99}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadSearchCheckpoint(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestIsSearchCheckpointSniffing(t *testing.T) {
+	if !IsSearchCheckpoint([]byte(`{"kind":"audit-search-checkpoint","version":1}`)) {
+		t.Error("real checkpoint not recognised")
+	}
+	if IsSearchCheckpoint([]byte(`{"version":1,"name":"x"}`)) {
+		t.Error("stressmark save misidentified as checkpoint")
+	}
+	if IsSearchCheckpoint([]byte(`garbage`)) {
+		t.Error("garbage misidentified as checkpoint")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	write := func(s string) error {
+		return WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := w.Write([]byte(s))
+			return err
+		})
+	}
+	if err := write("first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := write("second"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Errorf("content %q, want %q", got, "second")
+	}
+	// A failing writer must leave the previous file untouched...
+	boom := errors.New("boom")
+	err = WriteFileAtomic(path, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("writer error lost: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Errorf("failed write clobbered the file: %q", got)
+	}
+	// ...and no temp litter behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("temp files left behind: %v", entries)
+	}
+}
+
+func TestStressmarkSaveFileRoundTrips(t *testing.T) {
+	p := testbed.Bulldozer()
+	sm, err := Generate(context.Background(), Options{
+		Platform:      p,
+		LoopCycles:    36,
+		GA:            smallGA(3),
+		MeasureCycles: 2500,
+		WarmupCycles:  1500,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sm.json")
+	if err := sm.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsSearchCheckpoint(blob) {
+		t.Error("stressmark save sniffs as a search checkpoint")
+	}
+	back, _, err := LoadStressmark(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != sm.Name || back.DroopV != sm.DroopV {
+		t.Error("SaveFile round trip lost data")
+	}
+}

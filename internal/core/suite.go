@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/testbed"
@@ -43,7 +44,7 @@ func DefaultSuite(p testbed.Platform) []SuiteScenario {
 // detected loop length, and returns the marks in scenario order. base
 // supplies the GA budget and seeds; each scenario's seed is offset so
 // the searches are independent but reproducible.
-func GenerateSuite(p testbed.Platform, scenarios []SuiteScenario, base Options) ([]*Stressmark, error) {
+func GenerateSuite(ctx context.Context, p testbed.Platform, scenarios []SuiteScenario, base Options) ([]*Stressmark, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("core: empty suite")
 	}
@@ -67,7 +68,7 @@ func GenerateSuite(p testbed.Platform, scenarios []SuiteScenario, base Options) 
 		opt.Name = sc.Name
 		opt.Seed = base.Seed + int64(i)*101
 		opt.GA.Seed = opt.Seed + 1
-		sm, err := Generate(opt)
+		sm, err := Generate(ctx, opt)
 		if err != nil {
 			return nil, fmt.Errorf("core: suite scenario %s: %w", sc.Name, err)
 		}

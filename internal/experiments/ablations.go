@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -401,7 +402,7 @@ func (l *Lab) Hetero8T() (*HeteroResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	het, err := core.GenerateHetero(core.Options{
+	het, err := core.GenerateHetero(context.Background(), core.Options{
 		Platform: l.BD, LoopCycles: loop, Threads: 8,
 		GA: l.GA, Seed: 67, Name: "A-Res-8T-hetero",
 	})

@@ -421,3 +421,26 @@ func TestBarrierReleaseSkewDampens(t *testing.T) {
 			res.BarrierDroopV, res.AlignedDroopV)
 	}
 }
+
+func TestFaultRobustnessConvergesNearClean(t *testing.T) {
+	res, err := lab.FaultRobustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected.Runs == 0 || res.Injected.Transients == 0 {
+		t.Fatalf("fault model never fired: %+v", res.Injected)
+	}
+	if res.Retries == 0 {
+		t.Error("faulted search recorded no retries")
+	}
+	if res.FaultyDroopV <= 0 {
+		t.Fatal("fault-injected search found no droop")
+	}
+	// The paper's closed loop converged against real lab nuisances; the
+	// resilient search should land within a modest margin of the clean
+	// one (the 15% bound is loose — typical runs land within a few
+	// percent — but keeps the assertion robust to GA-budget noise).
+	if res.DeltaPct > 15 {
+		t.Errorf("faults cost %.1f%% of droop; search did not converge near clean", res.DeltaPct)
+	}
+}

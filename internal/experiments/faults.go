@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/testbed"
+)
+
+// FaultRobustnessResult is the lab-nuisance ablation: the same AUDIT
+// search run on a clean testbed and on one with injected lab faults
+// (lost captures, scope noise, launch skew, VRM drift, throttling
+// episodes), with both winners re-measured on the clean testbed so the
+// comparison isolates what the faults did to the *search*, not to the
+// final measurement.
+type FaultRobustnessResult struct {
+	// CleanDroopV is the clean-search winner's droop, measured clean.
+	CleanDroopV float64
+	// FaultyDroopV is the fault-injected search's winner, re-measured
+	// clean.
+	FaultyDroopV float64
+	// DeltaPct is how much search quality the faults cost,
+	// (clean-faulty)/clean. The paper ran its closed loop against real
+	// silicon with all of these nuisances live and still converged; the
+	// reproduction should show the same — a few percent, not a
+	// collapse.
+	DeltaPct float64
+	// TransientRate is the injected loss rate.
+	TransientRate float64
+	// Injected is what the fault model actually did.
+	Injected faults.Stats
+	// Retries, TimedOut and Degraded are the resilient evaluator's
+	// counters for the faulted search.
+	Retries, TimedOut, Degraded int
+}
+
+// FaultRobustness reruns the A-Res generation under the default lab
+// fault model (10% transient losses plus noise, skew, drift and
+// throttling) with the GA's retry/degradation policy enabled, and
+// compares against the cached clean A-Res.
+func (l *Lab) FaultRobustness() (*FaultRobustnessResult, error) {
+	clean, err := l.ARes()
+	if err != nil {
+		return nil, err
+	}
+	loop, err := l.LoopCycles(l.BD)
+	if err != nil {
+		return nil, err
+	}
+	fc := faults.Lab(11)
+	cfg := l.GA
+	cfg.MaxRetries = 4
+	cfg.DegradeFailures = true
+	var injector *faults.Injector
+	faulty, err := core.Generate(context.Background(), core.Options{
+		Platform: l.BD, LoopCycles: loop, Threads: 4,
+		Mode: core.Resonance, GA: cfg, Seed: 11, Name: "A-Res-lab",
+		WrapRunner: func(r testbed.Runner) testbed.Runner {
+			injector = faults.MustNew(fc, r)
+			return injector
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cleanD, err := l.droop(l.BD, clean.Program, 4)
+	if err != nil {
+		return nil, err
+	}
+	faultyD, err := l.droop(l.BD, faulty.Program, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultRobustnessResult{
+		CleanDroopV:   cleanD,
+		FaultyDroopV:  faultyD,
+		TransientRate: fc.TransientRate,
+		Injected:      injector.Stats(),
+		Retries:       faulty.Search.Retries,
+		TimedOut:      faulty.Search.TimedOut,
+		Degraded:      faulty.Search.Degraded,
+	}
+	if cleanD > 0 {
+		res.DeltaPct = (1 - faultyD/cleanD) * 100
+	}
+	return res, nil
+}

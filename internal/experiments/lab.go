@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -109,7 +110,7 @@ func (l *Lab) ARes() (*core.Stressmark, error) {
 		return nil, err
 	}
 	return l.mark("a-res", func() (*core.Stressmark, error) {
-		return core.Generate(core.Options{
+		return core.Generate(context.Background(), core.Options{
 			Platform: l.BD, LoopCycles: loop, Threads: 4,
 			Mode: core.Resonance, GA: l.GA, Seed: 11, Name: "A-Res",
 		})
@@ -123,7 +124,7 @@ func (l *Lab) AEx() (*core.Stressmark, error) {
 		return nil, err
 	}
 	return l.mark("a-ex", func() (*core.Stressmark, error) {
-		return core.Generate(core.Options{
+		return core.Generate(context.Background(), core.Options{
 			Platform: l.BD, LoopCycles: loop, Threads: 4,
 			Mode: core.Excitation, GA: l.GA, Seed: 13, Name: "A-Ex",
 		})
@@ -138,7 +139,7 @@ func (l *Lab) ARes8T() (*core.Stressmark, error) {
 		return nil, err
 	}
 	return l.mark("a-res-8t", func() (*core.Stressmark, error) {
-		return core.Generate(core.Options{
+		return core.Generate(context.Background(), core.Options{
 			Platform: l.BD, LoopCycles: loop, Threads: 8,
 			Mode: core.Resonance, GA: l.GA, Seed: 17, Name: "A-Res-8T",
 		})
@@ -152,7 +153,7 @@ func (l *Lab) AResTh() (*core.Stressmark, error) {
 		return nil, err
 	}
 	return l.mark("a-res-th", func() (*core.Stressmark, error) {
-		return core.Generate(core.Options{
+		return core.Generate(context.Background(), core.Options{
 			Platform: l.BD, LoopCycles: loop, Threads: 4, FPThrottle: 1,
 			Mode: core.Resonance, GA: l.GA, Seed: 19, Name: "A-Res-Th",
 		})
@@ -167,7 +168,7 @@ func (l *Lab) AResPhenom() (*core.Stressmark, error) {
 		return nil, err
 	}
 	return l.mark("a-res-phenom", func() (*core.Stressmark, error) {
-		return core.Generate(core.Options{
+		return core.Generate(context.Background(), core.Options{
 			Platform: l.PH, LoopCycles: loop, Threads: 4,
 			Mode: core.Resonance, GA: l.GA, Seed: 23, Name: "A-Res-PH",
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/asm"
@@ -309,14 +310,14 @@ func (l *Lab) HierarchicalVsFlat() (*HierFlatResult, error) {
 	}
 	gacfg := l.GA
 	gacfg.StagnantLimit = 0 // equal budgets: run all generations
-	hier, err := core.Generate(core.Options{
+	hier, err := core.Generate(context.Background(), core.Options{
 		Platform: l.BD, LoopCycles: loop, Threads: 4,
 		SubBlockCycles: 6, GA: gacfg, Seed: 31, Name: "hier", NoSeed: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	flat, err := core.Generate(core.Options{
+	flat, err := core.Generate(context.Background(), core.Options{
 		Platform: l.BD, LoopCycles: loop, Threads: 4,
 		SubBlockCycles: loop / 2, GA: gacfg, Seed: 31, Name: "flat", NoSeed: true,
 	})

@@ -1,0 +1,165 @@
+package ga
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+)
+
+// Checkpoint is the complete state of a search between generations:
+// everything RunCheckpointed needs to continue bit-identically — the
+// sorted population with its scores, the best-so-far, the RNG draw
+// count (the seeded source is replayed to this position on resume),
+// the fitness-memoization cache, and the accounting counters. It
+// marshals cleanly to JSON when G does (cache keys are base64-wrapped
+// because fingerprints are binary).
+type Checkpoint[G any] struct {
+	// Gen is the next generation to run (0 = only the initial
+	// population has been scored).
+	Gen int `json:"gen"`
+	// RNGDraws is how many values the seeded source had produced.
+	RNGDraws uint64 `json:"rng_draws"`
+	// Stagnant is the no-improvement streak at snapshot time.
+	Stagnant int `json:"stagnant"`
+	// Population and Fitnesses are the scored population, best first.
+	Population []G       `json:"population"`
+	Fitnesses  []float64 `json:"fitnesses"`
+	// Best and BestFitness are the best-so-far across the whole run.
+	Best        G       `json:"best"`
+	BestFitness float64 `json:"best_fitness"`
+	// History is the per-generation best-so-far trajectory.
+	History []float64 `json:"history,omitempty"`
+	// Counters carried across the interruption.
+	Evaluations int `json:"evaluations"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	Retries     int `json:"retries"`
+	TimedOut    int `json:"timed_out"`
+	Degraded    int `json:"degraded"`
+	// Cache is the fitness-memoization map, keys base64-encoded.
+	Cache []CacheEntry `json:"cache,omitempty"`
+}
+
+// CacheEntry is one memoized fitness, with its fingerprint key
+// base64-encoded so the binary bytes survive JSON.
+type CacheEntry struct {
+	Key string  `json:"k"`
+	Fit float64 `json:"v"`
+}
+
+// snapshot captures the live search state. It deliberately aliases the
+// population slice contents (genomes are treated as immutable by the
+// engine), but builds fresh slices so later generations cannot mutate
+// an emitted checkpoint.
+func snapshot[G any](gen, stagnant int, pop []scored[G], res *Result[G], cache map[string]float64, draws uint64) *Checkpoint[G] {
+	ck := &Checkpoint[G]{
+		Gen:         gen,
+		RNGDraws:    draws,
+		Stagnant:    stagnant,
+		Population:  make([]G, len(pop)),
+		Fitnesses:   make([]float64, len(pop)),
+		Best:        res.Best,
+		BestFitness: res.BestFitness,
+		History:     append([]float64(nil), res.History...),
+		Evaluations: res.Evaluations,
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
+		Retries:     res.Retries,
+		TimedOut:    res.TimedOut,
+		Degraded:    res.Degraded,
+	}
+	for i, s := range pop {
+		ck.Population[i] = s.g
+		ck.Fitnesses[i] = s.fit
+	}
+	if cache != nil {
+		ck.Cache = make([]CacheEntry, 0, len(cache))
+		for k, v := range cache {
+			ck.Cache = append(ck.Cache, CacheEntry{Key: base64.StdEncoding.EncodeToString([]byte(k)), Fit: v})
+		}
+	}
+	return ck
+}
+
+// restore rebuilds the search state from a checkpoint: population,
+// result counters, fitness cache, and the RNG position.
+func restore[G any](ck *Checkpoint[G], res *Result[G], cache map[string]float64, src *countingSource) ([]scored[G], int, int, error) {
+	if len(ck.Population) == 0 || len(ck.Population) != len(ck.Fitnesses) {
+		return nil, 0, 0, fmt.Errorf("ga: resume: malformed checkpoint population (%d genomes, %d fitnesses)",
+			len(ck.Population), len(ck.Fitnesses))
+	}
+	pop := make([]scored[G], len(ck.Population))
+	for i := range ck.Population {
+		pop[i] = scored[G]{g: ck.Population[i], fit: ck.Fitnesses[i]}
+	}
+	res.Best, res.BestFitness = ck.Best, ck.BestFitness
+	res.Generations = ck.Gen
+	res.History = append([]float64(nil), ck.History...)
+	res.Evaluations = ck.Evaluations
+	res.CacheHits, res.CacheMisses = ck.CacheHits, ck.CacheMisses
+	res.Retries, res.TimedOut, res.Degraded = ck.Retries, ck.TimedOut, ck.Degraded
+	if cache != nil {
+		for _, e := range ck.Cache {
+			raw, err := base64.StdEncoding.DecodeString(e.Key)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("ga: resume: bad cache key: %w", err)
+			}
+			cache[string(raw)] = e.Fit
+		}
+	}
+	src.fastForward(ck.RNGDraws)
+	return pop, ck.Gen, ck.Stagnant, nil
+}
+
+// countingSource wraps the stdlib seeded source and counts draws, so a
+// checkpoint can record the RNG position and a resume can replay the
+// source to exactly that point. Values pass through untouched: runs
+// with and without counting are bit-identical.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	src := rand.NewSource(seed)
+	s64, ok := src.(rand.Source64)
+	if !ok {
+		// rand.NewSource has returned a Source64 since Go 1.8; this
+		// fallback only matters if that ever changes.
+		s64 = &source64Shim{src}
+	}
+	return &countingSource{src: s64}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+func (s *countingSource) draws() uint64 { return s.n }
+
+// fastForward advances the underlying source by n draws. Int63 and
+// Uint64 step the stdlib generator identically, so replaying with
+// either reproduces the stream position.
+func (s *countingSource) fastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.n = n
+}
+
+type source64Shim struct{ rand.Source }
+
+func (s *source64Shim) Uint64() uint64 {
+	return uint64(s.Int63())>>31 | uint64(s.Int63())<<32
+}

@@ -1,0 +1,163 @@
+package ga
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// runCollectingCheckpoints runs the toy search, keeping every emitted
+// checkpoint (JSON round-tripped, as a real sink would store them).
+func runCollectingCheckpoints(t *testing.T, cfg Config, ops Ops[bits], eval func(bits) (float64, error)) (*Result[bits], []*Checkpoint[bits]) {
+	t.Helper()
+	var cks []*Checkpoint[bits]
+	sink := func(ck *Checkpoint[bits]) error {
+		blob, err := json.Marshal(ck)
+		if err != nil {
+			return err
+		}
+		var back Checkpoint[bits]
+		if err := json.Unmarshal(blob, &back); err != nil {
+			return err
+		}
+		cks = append(cks, &back)
+		return nil
+	}
+	res, err := RunCheckpointed(context.Background(), cfg, ops, nil, eval, nil, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cks
+}
+
+func sameResult[G any](a, b *Result[G]) bool {
+	return reflect.DeepEqual(a.Best, b.Best) &&
+		a.BestFitness == b.BestFitness &&
+		a.Generations == b.Generations &&
+		reflect.DeepEqual(a.History, b.History) &&
+		reflect.DeepEqual(a.Population, b.Population) &&
+		reflect.DeepEqual(a.Fitnesses, b.Fitnesses)
+}
+
+func TestResumeFromEveryGenerationIsBitIdentical(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 12
+	full, cks := runCollectingCheckpoints(t, cfg, bitOps(20), onemax)
+	if len(cks) != cfg.MaxGenerations+1 { // initial + one per generation
+		t.Fatalf("got %d checkpoints, want %d", len(cks), cfg.MaxGenerations+1)
+	}
+	// Resuming from any snapshot — including the initial-population one
+	// — must replay to the exact same final state.
+	for i, ck := range cks {
+		resumed, err := RunCheckpointed(context.Background(), cfg, bitOps(20), nil, onemax, ck, nil)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d: %v", i, err)
+		}
+		if !sameResult(full, resumed) {
+			t.Fatalf("resume from generation %d diverged: best %v vs %v, gens %d vs %d",
+				ck.Gen, full.BestFitness, resumed.BestFitness, full.Generations, resumed.Generations)
+		}
+	}
+}
+
+func TestResumeWithMemoizationReplaysCache(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 10
+	var calls atomic.Int64
+	counting := func(g bits) (float64, error) {
+		calls.Add(1)
+		return onemax(g)
+	}
+	full, cks := runCollectingCheckpoints(t, cfg, memoOps(16), counting)
+	fullCalls := calls.Load()
+
+	mid := cks[len(cks)/2]
+	calls.Store(0)
+	resumed, err := RunCheckpointed(context.Background(), cfg, memoOps(16), nil, counting, mid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(full, resumed) {
+		t.Fatal("memoized resume diverged from uninterrupted run")
+	}
+	// Cumulative accounting carries across the resume...
+	if resumed.Evaluations != full.Evaluations {
+		t.Errorf("resumed evaluations %d != full %d", resumed.Evaluations, full.Evaluations)
+	}
+	// ...but the resumed process only actually re-ran the back half.
+	if replayed := calls.Load(); replayed >= fullCalls {
+		t.Errorf("resume re-evaluated everything: %d calls vs %d for the full run", replayed, fullCalls)
+	}
+}
+
+func TestResumeMatchesUnderParallelism(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 8
+	cfg.Parallel = 4
+	full, cks := runCollectingCheckpoints(t, cfg, memoOps(16), onemax)
+	resumed, err := RunCheckpointed(context.Background(), cfg, memoOps(16), nil, onemax, cks[3], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(full, resumed) {
+		t.Fatal("parallel resume diverged")
+	}
+}
+
+func TestResumeAfterStagnationExit(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.StagnantLimit = 3
+	cfg.MaxGenerations = 1000
+	full, cks := runCollectingCheckpoints(t, cfg, bitOps(8), func(bits) (float64, error) { return 1, nil })
+	if full.Generations != 3 {
+		t.Fatalf("stagnation exit after %d generations, want 3", full.Generations)
+	}
+	resumed, err := RunCheckpointed(context.Background(), cfg, bitOps(8), nil,
+		func(bits) (float64, error) { return 1, nil }, cks[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Generations != full.Generations {
+		t.Errorf("resumed run exited after %d generations, full run after %d",
+			resumed.Generations, full.Generations)
+	}
+}
+
+func TestCheckpointSinkErrorAborts(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	_, err := RunCheckpointed(context.Background(), defaultCfg(), bitOps(8), nil, onemax, nil,
+		func(*Checkpoint[bits]) error { return sinkErr })
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("sink failure not propagated: %v", err)
+	}
+}
+
+func TestResumeRejectsMalformedCheckpoint(t *testing.T) {
+	bad := &Checkpoint[bits]{Population: make([]bits, 3), Fitnesses: make([]float64, 2)}
+	if _, err := RunCheckpointed(context.Background(), defaultCfg(), bitOps(8), nil, onemax, bad, nil); err == nil {
+		t.Fatal("malformed checkpoint accepted")
+	}
+}
+
+func TestCountingSourcePassthrough(t *testing.T) {
+	// The counting wrapper must not change the stream rand.New produces.
+	a := newCountingSource(42)
+	b := newCountingSource(42)
+	ra, rb := rand.New(a), rand.New(b)
+	for i := 0; i < 100; i++ {
+		if ra.Float64() != rb.Float64() || ra.Intn(1000) != rb.Intn(1000) {
+			t.Fatal("counting sources diverged from each other")
+		}
+	}
+	// Fast-forwarding a fresh source to a's position resynchronises.
+	c := newCountingSource(42)
+	c.fastForward(a.draws())
+	rc := rand.New(c)
+	if ra.Float64() != rc.Float64() {
+		t.Fatal("fast-forwarded source out of position")
+	}
+}

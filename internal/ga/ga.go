@@ -5,12 +5,22 @@
 // — no improvement for several generations — is met. The engine is
 // generic so the same machinery drives flat opcode-sequence genomes,
 // hierarchical sub-block genomes (§3.C) and test toys alike.
+//
+// Hardware campaigns are long (the paper's runs took 5–30 hours) and
+// their measurements are faulty, so the engine carries the lab-grade
+// machinery a real campaign needs: per-evaluation retry with capped
+// backoff on transient faults, median-of-K repeated measurement with
+// outlier rejection, per-evaluation timeouts, cooperative cancellation
+// via context.Context, graceful degradation of genomes that keep
+// failing, and bit-identical generation-level checkpoint/resume.
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Ops supplies the genome-specific operators.
@@ -58,6 +68,35 @@ type Config struct {
 	// NoMemoize disables fitness memoization even when Ops.Fingerprint
 	// is set (useful for measuring raw evaluation cost).
 	NoMemoize bool
+
+	// MaxRetries is how many extra attempts an evaluation gets when it
+	// fails with a transient error (one whose chain exposes a
+	// `Transient() bool` method returning true, e.g. faults.ErrTransient,
+	// or a per-evaluation timeout). 0 = fail on the first error.
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry; it doubles per
+	// retry, capped at RetryBackoffCap. Zero = retry immediately.
+	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the exponential backoff (default: 1s when
+	// RetryBackoff is set).
+	RetryBackoffCap time.Duration
+	// Repeats, when > 1, measures each candidate K times and scores it
+	// with the outlier-rejected centre of the samples (median, then
+	// mean of samples within 3 MADs) — the standard defence against
+	// noisy scope captures.
+	Repeats int
+	// EvalTimeout bounds each evaluation attempt; an attempt that
+	// exceeds it is abandoned and counts as a transient failure.
+	// 0 disables the timeout.
+	EvalTimeout time.Duration
+	// DegradeFailures switches eval-failure policy from abort-the-search
+	// to degrade-the-genome: a candidate whose evaluation still fails
+	// after all retries scores WorstFitness instead of killing a
+	// multi-hour run. Result.Degraded counts how often this happened.
+	DegradeFailures bool
+	// WorstFitness is the score a degraded genome receives
+	// (default -math.MaxFloat64, which sorts last under maximisation).
+	WorstFitness float64
 }
 
 // Validate checks the configuration.
@@ -77,6 +116,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ga: negative stagnant limit")
 	case c.Parallel < 0:
 		return fmt.Errorf("ga: negative parallelism")
+	case c.MaxRetries < 0:
+		return fmt.Errorf("ga: negative retry count")
+	case c.RetryBackoff < 0 || c.RetryBackoffCap < 0:
+		return fmt.Errorf("ga: negative retry backoff")
+	case c.Repeats < 0:
+		return fmt.Errorf("ga: negative repeat count")
+	case c.EvalTimeout < 0:
+		return fmt.Errorf("ga: negative eval timeout")
 	}
 	return nil
 }
@@ -103,6 +150,13 @@ type Result[G any] struct {
 	// CacheMisses equals the evaluations spent on memoized batches.
 	CacheHits   int
 	CacheMisses int
+	// Retries counts transient evaluation failures that were retried;
+	// TimedOut is the per-attempt-timeout subset of those.
+	Retries  int
+	TimedOut int
+	// Degraded counts candidates that exhausted their retries and were
+	// assigned WorstFitness instead of aborting the search.
+	Degraded int
 	// History holds the best fitness after each generation.
 	History []float64
 }
@@ -115,15 +169,34 @@ type scored[G any] struct {
 // Run maximises eval over genomes. seeds, if any, are injected into the
 // initial population (the paper: "the initial population ... can be
 // generated randomly or seeded with existing benchmarks or stressmarks
-// to improve the convergence rate").
-func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)) (*Result[G], error) {
+// to improve the convergence rate"). Cancelling ctx stops the search
+// promptly — between evaluations, backoff waits, and generations — and
+// returns ctx.Err().
+func Run[G any](ctx context.Context, cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)) (*Result[G], error) {
+	return RunCheckpointed(ctx, cfg, ops, seeds, eval, nil, nil)
+}
+
+// RunCheckpointed is Run with generation-level checkpoint/resume.
+// After the initial population and after every generation, sink (when
+// non-nil) receives a snapshot of the complete search state; resume
+// (when non-nil) restores such a snapshot and continues the search
+// exactly where it stopped. A resumed run is bit-identical to the
+// uninterrupted one: the RNG is fast-forwarded to the recorded draw
+// count, the population and fitness cache are restored, and the same
+// deterministic evaluations replay (with memoization enabled, already-
+// scored genomes are served from the restored cache).
+func RunCheckpointed[G any](ctx context.Context, cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error), resume *Checkpoint[G], sink func(*Checkpoint[G]) error) (*Result[G], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if ops.Random == nil || ops.Crossover == nil || ops.Mutate == nil {
 		return nil, fmt.Errorf("ga: all three operators are required")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	src := newCountingSource(cfg.Seed)
+	rng := rand.New(src)
 
 	res := &Result[G]{}
 	fp := ops.Fingerprint
@@ -134,18 +207,20 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 	if fp != nil {
 		cache = make(map[string]float64)
 	}
+	ev := newEvaluator(cfg, eval)
+	rEval := func(g G) (float64, error) { return ev.evaluate(ctx, g) }
 	// score runs one batch through the cache (when enabled) and the
 	// worker pool, accounting evaluations and cache traffic.
 	score := func(gs []G) ([]float64, error) {
 		if fp == nil {
-			fits, err := evalBatch(gs, eval, cfg.Parallel)
+			fits, err := evalBatch(ctx, gs, rEval, cfg.Parallel)
 			if err != nil {
 				return nil, err
 			}
 			res.Evaluations += len(gs)
 			return fits, nil
 		}
-		fits, hits, misses, err := evalMemo(gs, fp, cache, eval, cfg.Parallel)
+		fits, hits, misses, err := evalMemo(ctx, gs, fp, cache, rEval, cfg.Parallel)
 		if err != nil {
 			return nil, err
 		}
@@ -155,27 +230,53 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 		return fits, nil
 	}
 
-	initial := make([]G, cfg.PopSize)
-	for i := range initial {
-		if i < len(seeds) {
-			initial[i] = seeds[i]
-		} else {
-			initial[i] = ops.Random(rng)
+	var pop []scored[G]
+	startGen, stagnant := 0, 0
+	if resume != nil {
+		var err error
+		pop, startGen, stagnant, err = restore(resume, res, cache, src)
+		if err != nil {
+			return nil, err
+		}
+		ev.restore(res)
+	} else {
+		initial := make([]G, cfg.PopSize)
+		for i := range initial {
+			if i < len(seeds) {
+				initial[i] = seeds[i]
+			} else {
+				initial[i] = ops.Random(rng)
+			}
+		}
+		fits, err := score(initial)
+		if err != nil {
+			return nil, fmt.Errorf("ga: evaluating initial population: %w", err)
+		}
+		pop = make([]scored[G], cfg.PopSize)
+		for i := range pop {
+			pop[i] = scored[G]{g: initial[i], fit: fits[i]}
+		}
+		sortPop(pop)
+		res.Best, res.BestFitness = pop[0].g, pop[0].fit
+	}
+
+	emit := func(gen int) error {
+		if sink == nil {
+			return nil
+		}
+		ev.drain(res)
+		return sink(snapshot(gen, stagnant, pop, res, cache, src.draws()))
+	}
+	if resume == nil {
+		if err := emit(0); err != nil {
+			return nil, fmt.Errorf("ga: checkpointing initial population: %w", err)
 		}
 	}
-	fits, err := score(initial)
-	if err != nil {
-		return nil, fmt.Errorf("ga: evaluating initial population: %w", err)
-	}
-	pop := make([]scored[G], cfg.PopSize)
-	for i := range pop {
-		pop[i] = scored[G]{g: initial[i], fit: fits[i]}
-	}
-	sortPop(pop)
-	res.Best, res.BestFitness = pop[0].g, pop[0].fit
 
-	stagnant := 0
-	for gen := 0; gen < cfg.MaxGenerations; gen++ {
+	for gen := startGen; gen < cfg.MaxGenerations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := make([]scored[G], 0, cfg.PopSize)
 		next = append(next, pop[:cfg.Elites]...)
 		children := make([]G, 0, cfg.PopSize-cfg.Elites)
@@ -205,10 +306,14 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 			stagnant++
 		}
 		res.History = append(res.History, res.BestFitness)
+		if err := emit(gen + 1); err != nil {
+			return nil, fmt.Errorf("ga: checkpointing generation %d: %w", gen, err)
+		}
 		if cfg.StagnantLimit > 0 && stagnant >= cfg.StagnantLimit {
 			break
 		}
 	}
+	ev.drain(res)
 	for _, s := range pop {
 		res.Population = append(res.Population, s.g)
 		res.Fitnesses = append(res.Fitnesses, s.fit)
@@ -223,7 +328,7 @@ func Run[G any](cfg Config, ops Ops[G], seeds []G, eval func(G) (float64, error)
 // goroutine before any fan-out, and the cache is written only after the
 // batch completes, so parallel runs are race-free and bit-identical to
 // serial ones: the same set of genomes is simulated either way.
-func evalMemo[G any](gs []G, fp func(G) string, cache map[string]float64, eval func(G) (float64, error), workers int) (fits []float64, hits, misses int, err error) {
+func evalMemo[G any](ctx context.Context, gs []G, fp func(G) string, cache map[string]float64, eval func(G) (float64, error), workers int) (fits []float64, hits, misses int, err error) {
 	fits = make([]float64, len(gs))
 	keys := make([]string, len(gs))
 	rep := make(map[string]int, len(gs)) // key → first occurrence in batch
@@ -247,7 +352,7 @@ func evalMemo[G any](gs []G, fp func(G) string, cache map[string]float64, eval f
 		uniq = append(uniq, g)
 		uniqIdx = append(uniqIdx, i)
 	}
-	ufits, err := evalBatch(uniq, eval, workers)
+	ufits, err := evalBatch(ctx, uniq, eval, workers)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -262,11 +367,15 @@ func evalMemo[G any](gs []G, fp func(G) string, cache map[string]float64, eval f
 }
 
 // evalBatch scores a batch of genomes, fanning out across workers when
-// parallelism is enabled. The first error aborts the batch.
-func evalBatch[G any](gs []G, eval func(G) (float64, error), workers int) ([]float64, error) {
+// parallelism is enabled. The first error aborts the batch; a
+// cancelled context stops the workers promptly.
+func evalBatch[G any](ctx context.Context, gs []G, eval func(G) (float64, error), workers int) ([]float64, error) {
 	fits := make([]float64, len(gs))
 	if workers <= 1 || len(gs) < 2 {
 		for i, g := range gs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			fit, err := eval(g)
 			if err != nil {
 				return nil, err
@@ -289,6 +398,9 @@ func evalBatch[G any](gs []G, eval func(G) (float64, error), workers int) ([]flo
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if ctx.Err() != nil {
+					continue
+				}
 				fit, err := eval(gs[i])
 				if err != nil {
 					mu.Lock()
@@ -302,11 +414,19 @@ func evalBatch[G any](gs []G, eval func(G) (float64, error), workers int) ([]flo
 			}
 		}()
 	}
+feed:
 	for i := range gs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -57,7 +58,7 @@ func defaultCfg() Config {
 
 func TestConvergesOnOnemax(t *testing.T) {
 	n := 32
-	res, err := Run(defaultCfg(), bitOps(n), nil, onemax)
+	res, err := Run(context.Background(), defaultCfg(), bitOps(n), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestConvergesOnOnemax(t *testing.T) {
 }
 
 func TestHistoryMonotone(t *testing.T) {
-	res, err := Run(defaultCfg(), bitOps(24), nil, onemax)
+	res, err := Run(context.Background(), defaultCfg(), bitOps(24), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSeedsEnterPopulation(t *testing.T) {
 	}
 	cfg := defaultCfg()
 	cfg.MaxGenerations = 1
-	res, err := Run(cfg, bitOps(n), []bits{perfect}, onemax)
+	res, err := Run(context.Background(), cfg, bitOps(n), []bits{perfect}, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestStagnationExit(t *testing.T) {
 	cfg.StagnantLimit = 3
 	cfg.MaxGenerations = 1000
 	// Constant fitness: should stop after exactly StagnantLimit gens.
-	res, err := Run(cfg, bitOps(8), nil, func(bits) (float64, error) { return 1, nil })
+	res, err := Run(context.Background(), cfg, bitOps(8), nil, func(bits) (float64, error) { return 1, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +115,11 @@ func TestStagnationExit(t *testing.T) {
 }
 
 func TestDeterministicWithSeed(t *testing.T) {
-	a, err := Run(defaultCfg(), bitOps(20), nil, onemax)
+	a, err := Run(context.Background(), defaultCfg(), bitOps(20), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(defaultCfg(), bitOps(20), nil, onemax)
+	b, err := Run(context.Background(), defaultCfg(), bitOps(20), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 	}
 	cfg := defaultCfg()
 	cfg.Seed = 99
-	c, err := Run(cfg, bitOps(20), nil, onemax)
+	c, err := Run(context.Background(), cfg, bitOps(20), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 func TestElitismPreservesBest(t *testing.T) {
 	cfg := defaultCfg()
 	cfg.MutationProb = 1.0 // heavy churn
-	res, err := Run(cfg, bitOps(16), nil, onemax)
+	res, err := Run(context.Background(), cfg, bitOps(16), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,13 +173,13 @@ func TestConfigValidation(t *testing.T) {
 			t.Errorf("bad config %d accepted: %+v", i, c)
 		}
 	}
-	if _, err := Run(defaultCfg(), Ops[bits]{}, nil, onemax); err == nil {
+	if _, err := Run(context.Background(), defaultCfg(), Ops[bits]{}, nil, onemax); err == nil {
 		t.Error("missing operators accepted")
 	}
 }
 
 func TestEvalErrorPropagates(t *testing.T) {
-	_, err := Run(defaultCfg(), bitOps(8), nil, func(bits) (float64, error) {
+	_, err := Run(context.Background(), defaultCfg(), bitOps(8), nil, func(bits) (float64, error) {
 		return 0, errTest
 	})
 	if err == nil {
@@ -196,7 +197,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	run := func(workers int) *Result[bits] {
 		cfg := defaultCfg()
 		cfg.Parallel = workers
-		res, err := Run(cfg, bitOps(24), nil, onemax)
+		res, err := Run(context.Background(), cfg, bitOps(24), nil, onemax)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestParallelPropagatesErrors(t *testing.T) {
 	cfg := defaultCfg()
 	cfg.Parallel = 4
-	_, err := Run(cfg, bitOps(8), nil, func(bits) (float64, error) { return 0, errTest })
+	_, err := Run(context.Background(), cfg, bitOps(8), nil, func(bits) (float64, error) { return 0, errTest })
 	if err == nil {
 		t.Error("parallel eval error swallowed")
 	}

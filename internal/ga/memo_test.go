@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -42,7 +43,7 @@ func TestParallel8MatchesSerialExactly(t *testing.T) {
 				if memo {
 					ops = memoOps(24)
 				}
-				res, err := Run(cfg, ops, nil, onemax)
+				res, err := Run(context.Background(), cfg, ops, nil, onemax)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -89,7 +90,7 @@ func TestMemoizationSkipsDuplicateEvaluations(t *testing.T) {
 		}
 		return onemax(g)
 	}
-	res, err := Run(cfg, memoOps(16), nil, eval)
+	res, err := Run(context.Background(), cfg, memoOps(16), nil, eval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestMemoizationSkipsDuplicateEvaluations(t *testing.T) {
 // TestMemoizedMatchesUnmemoized: the cache must not change the search,
 // only skip redundant simulator calls.
 func TestMemoizedMatchesUnmemoized(t *testing.T) {
-	raw, err := Run(defaultCfg(), bitOps(20), nil, onemax)
+	raw, err := Run(context.Background(), defaultCfg(), bitOps(20), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
-	memo, err := Run(defaultCfg(), memoOps(20), nil, onemax)
+	memo, err := Run(context.Background(), defaultCfg(), memoOps(20), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,14 +139,14 @@ func TestMemoizedMatchesUnmemoized(t *testing.T) {
 func TestNoMemoizeDisablesCache(t *testing.T) {
 	cfg := defaultCfg()
 	cfg.NoMemoize = true
-	res, err := Run(cfg, memoOps(16), nil, onemax)
+	res, err := Run(context.Background(), cfg, memoOps(16), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.CacheHits != 0 || res.CacheMisses != 0 {
 		t.Errorf("NoMemoize still hit the cache: %d/%d", res.CacheHits, res.CacheMisses)
 	}
-	raw, err := Run(defaultCfg(), bitOps(16), nil, onemax)
+	raw, err := Run(context.Background(), defaultCfg(), bitOps(16), nil, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestNoMemoizeDisablesCache(t *testing.T) {
 func TestMemoizedParallelEvalErrorPropagates(t *testing.T) {
 	cfg := defaultCfg()
 	cfg.Parallel = 8
-	_, err := Run(cfg, memoOps(8), nil, func(bits) (float64, error) { return 0, errTest })
+	_, err := Run(context.Background(), cfg, memoOps(8), nil, func(bits) (float64, error) { return 0, errTest })
 	if err == nil {
 		t.Error("memoized parallel eval error swallowed")
 	}

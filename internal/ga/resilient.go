@@ -1,0 +1,235 @@
+package ga
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// transienter is the error-classification contract: any error in the
+// chain exposing Transient() true is retryable (faults.Error does; so
+// does the internal per-attempt timeout). Everything else is permanent.
+type transienter interface{ Transient() bool }
+
+// isTransient reports whether err is retryable.
+func isTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// timeoutError marks an evaluation attempt abandoned by EvalTimeout.
+type timeoutError struct{ d time.Duration }
+
+func (e *timeoutError) Error() string   { return fmt.Sprintf("ga: evaluation exceeded %s", e.d) }
+func (e *timeoutError) Transient() bool { return true }
+
+// sleepFn waits for d or until ctx is cancelled. A package variable so
+// the backoff tests can substitute a fake clock.
+var sleepFn = func(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// evaluator wraps the user's fitness function with the lab-resilience
+// policy: per-attempt timeout, transient-error retry with capped
+// exponential backoff, median-of-K repeated measurement with outlier
+// rejection, and graceful degradation. It is shared by all of
+// evalBatch's workers; the counters are mutex-guarded.
+type evaluator[G any] struct {
+	cfg  Config
+	eval func(G) (float64, error)
+
+	mu       sync.Mutex
+	retries  int
+	timedOut int
+	degraded int
+}
+
+func newEvaluator[G any](cfg Config, eval func(G) (float64, error)) *evaluator[G] {
+	return &evaluator[G]{cfg: cfg, eval: eval}
+}
+
+// drain folds the evaluator's counters into the result.
+func (e *evaluator[G]) drain(res *Result[G]) {
+	e.mu.Lock()
+	res.Retries, res.TimedOut, res.Degraded = e.retries, e.timedOut, e.degraded
+	e.mu.Unlock()
+}
+
+// restore re-seeds the counters from a resumed result.
+func (e *evaluator[G]) restore(res *Result[G]) {
+	e.mu.Lock()
+	e.retries, e.timedOut, e.degraded = res.Retries, res.TimedOut, res.Degraded
+	e.mu.Unlock()
+}
+
+// worstFitness is the degraded score (lowest possible under
+// maximisation that still round-trips through JSON, unlike -Inf).
+func (e *evaluator[G]) worstFitness() float64 {
+	if e.cfg.WorstFitness != 0 {
+		return e.cfg.WorstFitness
+	}
+	return -math.MaxFloat64
+}
+
+// evaluate scores one genome under the full policy.
+func (e *evaluator[G]) evaluate(ctx context.Context, g G) (float64, error) {
+	k := e.cfg.Repeats
+	if k <= 1 {
+		// Single-measurement fast path: no sample buffer (this is the
+		// hot default; the GA allocation budget is benchmarked).
+		fit, err := e.attempt(ctx, g)
+		if err != nil {
+			return e.fail(ctx, err)
+		}
+		return fit, nil
+	}
+	samples := make([]float64, 0, k)
+	for rep := 0; rep < k; rep++ {
+		fit, err := e.attempt(ctx, g)
+		if err != nil {
+			return e.fail(ctx, err)
+		}
+		samples = append(samples, fit)
+	}
+	return robustCentre(samples), nil
+}
+
+// fail resolves an exhausted attempt: propagate cancellation and
+// permanent-policy errors, or degrade to the worst fitness.
+func (e *evaluator[G]) fail(ctx context.Context, err error) (float64, error) {
+	if ctx.Err() != nil {
+		return 0, ctx.Err()
+	}
+	if !e.cfg.DegradeFailures {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.degraded++
+	e.mu.Unlock()
+	return e.worstFitness(), nil
+}
+
+// attempt runs one measurement with retry/backoff on transient faults.
+func (e *evaluator[G]) attempt(ctx context.Context, g G) (float64, error) {
+	backoff := e.cfg.RetryBackoff
+	maxBackoff := e.cfg.RetryBackoffCap
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	for try := 0; ; try++ {
+		fit, err := e.call(ctx, g)
+		if err == nil {
+			return fit, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, ctxErr
+		}
+		if !isTransient(err) || try >= e.cfg.MaxRetries {
+			return 0, err
+		}
+		e.mu.Lock()
+		e.retries++
+		e.mu.Unlock()
+		if err := sleepFn(ctx, backoff); err != nil {
+			return 0, err
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// call runs the fitness function once, bounded by EvalTimeout. The
+// simulator is CPU-bound and always terminates, so an over-deadline
+// attempt's goroutine finishes in the background and its (stale)
+// result is discarded.
+func (e *evaluator[G]) call(ctx context.Context, g G) (float64, error) {
+	if e.cfg.EvalTimeout <= 0 {
+		return e.eval(g)
+	}
+	type outcome struct {
+		fit float64
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		fit, err := e.eval(g)
+		done <- outcome{fit, err}
+	}()
+	t := time.NewTimer(e.cfg.EvalTimeout)
+	defer t.Stop()
+	select {
+	case o := <-done:
+		return o.fit, o.err
+	case <-t.C:
+		e.mu.Lock()
+		e.timedOut++
+		e.mu.Unlock()
+		return 0, &timeoutError{e.cfg.EvalTimeout}
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// robustCentre reduces repeated measurements to one score: the median,
+// or for K ≥ 3 the mean of samples within 3 median-absolute-deviations
+// of the median (rejecting e.g. a throttling episode that depressed
+// one capture).
+func robustCentre(samples []float64) float64 {
+	switch len(samples) {
+	case 0:
+		return 0
+	case 1:
+		return samples[0]
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	med := median(sorted)
+	if len(sorted) < 3 {
+		return med
+	}
+	devs := make([]float64, len(sorted))
+	for i, s := range sorted {
+		devs[i] = math.Abs(s - med)
+	}
+	sort.Float64s(devs)
+	mad := median(devs)
+	if mad == 0 {
+		return med
+	}
+	var sum float64
+	var n int
+	for _, s := range sorted {
+		if math.Abs(s-med) <= 3*mad {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return med
+	}
+	return sum / float64(n)
+}
+
+// median of an already-sorted slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

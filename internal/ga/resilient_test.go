@@ -1,0 +1,273 @@
+package ga
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyErr is a transient test fault (implements Transient()).
+type flakyErr struct{ msg string }
+
+func (e *flakyErr) Error() string   { return e.msg }
+func (e *flakyErr) Transient() bool { return true }
+
+// fakeClock records backoff waits instead of sleeping.
+type fakeClock struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.waits = append(f.waits, d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+// withFakeClock swaps the package sleep hook for the test's lifetime.
+func withFakeClock(t *testing.T) *fakeClock {
+	t.Helper()
+	fc := &fakeClock{}
+	orig := sleepFn
+	sleepFn = fc.sleep
+	t.Cleanup(func() { sleepFn = orig })
+	return fc
+}
+
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	fc := withFakeClock(t)
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 3
+	cfg.MaxRetries = 3
+	var calls atomic.Int64
+	// Every 4th call fails transiently; with 3 retries every genome
+	// still gets scored.
+	eval := func(g bits) (float64, error) {
+		if calls.Add(1)%4 == 0 {
+			return 0, &flakyErr{"scope glitch"}
+		}
+		return onemax(g)
+	}
+	res, err := Run(context.Background(), cfg, bitOps(16), nil, eval)
+	if err != nil {
+		t.Fatalf("search aborted despite retries: %v", err)
+	}
+	if res.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+	if res.Degraded != 0 {
+		t.Errorf("genomes degraded (%d) though retries sufficed", res.Degraded)
+	}
+	if len(fc.waits) != res.Retries {
+		t.Errorf("backoff waits %d != retries %d", len(fc.waits), res.Retries)
+	}
+}
+
+func TestRetryBackoffDoublesAndCaps(t *testing.T) {
+	fc := withFakeClock(t)
+	cfg := defaultCfg()
+	cfg.PopSize = 2
+	cfg.Elites = 0
+	cfg.TournamentK = 1
+	cfg.MaxGenerations = 1
+	cfg.MaxRetries = 5
+	cfg.RetryBackoff = 10 * time.Millisecond
+	cfg.RetryBackoffCap = 40 * time.Millisecond
+	cfg.DegradeFailures = true
+	// Always-transient eval: each genome burns all retries, recording
+	// the full backoff ladder.
+	_, err := Run(context.Background(), cfg, bitOps(4), nil, func(bits) (float64, error) {
+		return 0, &flakyErr{"always down"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10, 20, 40, 40, 40} // ms: doubled then capped
+	if len(fc.waits) < len(want) {
+		t.Fatalf("too few waits recorded: %v", fc.waits)
+	}
+	for i, w := range want {
+		if fc.waits[i] != w*time.Millisecond {
+			t.Fatalf("backoff ladder %v, want prefix %v ms", fc.waits[:len(want)], want)
+		}
+	}
+}
+
+func TestDegradationInsteadOfAbort(t *testing.T) {
+	withFakeClock(t)
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 4
+	cfg.MaxRetries = 1
+	cfg.DegradeFailures = true
+	// Genomes whose first two bits are set are permanently unmeasurable
+	// (transient on every attempt, so retries never save them). The
+	// search must finish anyway and count the degradations.
+	eval := func(g bits) (float64, error) {
+		if g[0] && g[1] {
+			return 0, &flakyErr{"dead channel"}
+		}
+		return onemax(g)
+	}
+	res, err := Run(context.Background(), cfg, bitOps(12), nil, eval)
+	if err != nil {
+		t.Fatalf("degrading search aborted: %v", err)
+	}
+	if res.Degraded == 0 {
+		t.Error("expected some degraded evaluations")
+	}
+	if res.BestFitness <= 0 {
+		t.Error("search found nothing despite degradation policy")
+	}
+}
+
+func TestPermanentErrorStillAbortsWithoutDegradation(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxRetries = 3
+	_, err := Run(context.Background(), cfg, bitOps(8), nil, func(bits) (float64, error) {
+		return 0, errTest // not transient
+	})
+	if err == nil {
+		t.Fatal("permanent error swallowed")
+	}
+	if !errors.Is(err, errTest) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+}
+
+func TestMedianOfKRejectsOutliers(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.PopSize = 4
+	cfg.MaxGenerations = 1
+	cfg.Repeats = 5
+	var calls atomic.Int64
+	// Every 5th measurement is wildly depressed (a throttling episode);
+	// the robust centre must ignore it.
+	eval := func(g bits) (float64, error) {
+		base, _ := onemax(g)
+		if calls.Add(1)%5 == 0 {
+			return base * 0.1, nil
+		}
+		return base + 10, nil
+	}
+	res, err := Run(context.Background(), cfg, bitOps(8), nil, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All clean measurements are base+10 ≥ 10; a surviving outlier
+	// would drag a fitness near base*0.1 < 1.
+	for i, f := range res.Fitnesses {
+		if f < 5 {
+			t.Errorf("fitness %d = %v: outlier not rejected", i, f)
+		}
+	}
+}
+
+func TestRobustCentre(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{5, 5, 5}, 5},          // MAD 0 → median
+		{[]float64{10, 11, 12, 0.5}, 11}, // low outlier rejected, mean of rest
+		{[]float64{2, 4, 6, 8, 1000}, 5}, // high outlier rejected
+	}
+	for i, c := range cases {
+		if got := robustCentre(c.in); got != c.want {
+			t.Errorf("case %d: robustCentre(%v) = %v, want %v", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalTimeoutCountsAsTransient(t *testing.T) {
+	withFakeClock(t)
+	cfg := defaultCfg()
+	cfg.PopSize = 2
+	cfg.Elites = 0
+	cfg.TournamentK = 1
+	cfg.MaxGenerations = 1
+	cfg.EvalTimeout = time.Millisecond
+	cfg.MaxRetries = 2
+	cfg.DegradeFailures = true
+	var calls atomic.Int64
+	block := make(chan struct{})
+	defer close(block)
+	eval := func(g bits) (float64, error) {
+		if calls.Add(1) == 1 {
+			<-block // first eval hangs past the deadline
+		}
+		return onemax(g)
+	}
+	res, err := Run(context.Background(), cfg, bitOps(4), nil, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut == 0 {
+		t.Error("hung evaluation not recorded as timeout")
+	}
+	if res.Retries == 0 {
+		t.Error("timeout did not trigger a retry")
+	}
+}
+
+func TestCancellationStopsSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 10000
+	var calls atomic.Int64
+	eval := func(g bits) (float64, error) {
+		if calls.Add(1) == 50 {
+			cancel()
+		}
+		return onemax(g)
+	}
+	_, err := Run(ctx, cfg, bitOps(16), nil, eval)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n > 200 {
+		t.Errorf("evaluations kept running after cancel: %d calls", n)
+	}
+}
+
+func TestCancellationStopsParallelWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := defaultCfg()
+	cfg.Parallel = 4
+	cfg.MaxGenerations = 10000
+	var calls atomic.Int64
+	eval := func(g bits) (float64, error) {
+		if calls.Add(1) == 40 {
+			cancel()
+		}
+		return onemax(g)
+	}
+	_, err := Run(ctx, cfg, bitOps(16), nil, eval)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled parallel run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestResilienceConfigValidation(t *testing.T) {
+	base := defaultCfg()
+	bad := []func(*Config){
+		func(c *Config) { c.MaxRetries = -1 },
+		func(c *Config) { c.RetryBackoff = -time.Second },
+		func(c *Config) { c.RetryBackoffCap = -time.Second },
+		func(c *Config) { c.Repeats = -2 },
+		func(c *Config) { c.EvalTimeout = -time.Minute },
+	}
+	for i, mutate := range bad {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad resilience config %d accepted", i)
+		}
+	}
+}

@@ -144,6 +144,16 @@ type Measurement struct {
 	FailCycle uint64
 }
 
+// Runner is anything that can execute one measurement run. Platform
+// and CompiledPlatform both satisfy it, as do decorators that wrap a
+// platform — notably faults.Injector, which perturbs runs with the
+// failure modes of a physical lab. Code that only needs to take
+// measurements (the GA's fitness path, sweeps, failure searches)
+// should accept a Runner so any of these can stand in.
+type Runner interface {
+	Run(RunConfig) (*Measurement, error)
+}
+
 // Nominal returns the platform's nominal supply voltage.
 func (p Platform) Nominal() float64 { return p.PDN.VNom }
 

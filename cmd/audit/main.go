@@ -22,6 +22,9 @@
 //	-checkpoint write a mid-search checkpoint here every generation
 //	-resume     continue from a -checkpoint or -save file
 //	-faults     inject lab faults at this transient rate (0 = off)
+//	-exact      force the reference per-cycle measurement loop
+//	-cpuprofile write a pprof CPU profile of the search to this file
+//	-pprof      serve net/http/pprof on this address (e.g. :6060)
 //
 // A search with -checkpoint survives Ctrl-C: the interrupted run exits
 // cleanly and `audit -resume <checkpoint>` finishes it bit-identically
@@ -36,8 +39,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/audit"
@@ -54,6 +60,8 @@ type cliOptions struct {
 	checkpoint, resume     string
 	faultRate              float64
 	hetero                 bool
+	exact                  bool
+	cpuProfile, pprofAddr  string
 }
 
 func main() {
@@ -74,7 +82,37 @@ func main() {
 	flag.StringVar(&c.resume, "resume", "", "resume from a -checkpoint or -save file")
 	flag.Float64Var(&c.faultRate, "faults", 0, "inject lab faults at this transient rate (0 = off)")
 	flag.BoolVar(&c.hetero, "hetero", false, "give each thread its own genome (resonance mode only)")
+	flag.BoolVar(&c.exact, "exact", false, "force the reference per-cycle measurement loop (disable trace replay)")
+	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the search to this file")
+	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	if c.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(c.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "audit: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "audit: pprof at http://%s/debug/pprof/\n", c.pprofAddr)
+	}
+	// stopProfile must run on every exit path (os.Exit skips defers).
+	stopProfile := func() {}
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "audit:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "audit: cpuprofile:", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	// Ctrl-C cancels the search between evaluations instead of killing
 	// the process mid-write; with -checkpoint the run is resumable.
@@ -88,10 +126,12 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "audit: interrupted (use -checkpoint to make searches resumable)")
 		}
+		stopProfile()
 		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
+		stopProfile()
 		os.Exit(1)
 	}
 }
@@ -124,6 +164,7 @@ func run(ctx context.Context, c cliOptions) error {
 		SubBlockCycles: c.subblock,
 		FPThrottle:     c.throttle,
 		CheckpointPath: c.checkpoint,
+		ExactEval:      c.exact,
 		GA: audit.GAConfig{
 			PopSize: c.pop, Elites: 2, TournamentK: 3,
 			MutationProb: 0.6, MaxGenerations: c.gens, StagnantLimit: 6,

@@ -1,6 +1,9 @@
 package circuit
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Compiled is the immutable, shareable part of a fixed-step trapezoidal
 // transient simulation: the circuit topology with branch unknowns
@@ -26,6 +29,26 @@ type Compiled struct {
 	capI0    []float64
 	indI0    []float64
 	sources0 []float64
+
+	// Precompiled records for the batched StepTrace kernel: the RHS
+	// assembly flattened into resolved indices and precomputed companion
+	// conductances (2C/h, 2L/h), in the exact element order Step uses,
+	// plus the companion-update passes in their own orders. Stamping the
+	// same additions in the same order with the same constants keeps
+	// StepTrace bit-identical to a Step loop.
+	stepOps []stepOp // RHS assembly, element order (R elements skipped)
+	capOps  []stepOp // capacitor companion updates, capIdx order
+	indOps  []stepOp // inductor companion updates, element order
+}
+
+// stepOp is one flattened element record for the trace kernel. Node
+// indices are pre-shifted into unknown-vector indices (-1 = ground).
+type stepOp struct {
+	kind   elemKind
+	ia, ib int
+	br     int     // branch unknown for L and V elements
+	ei     int     // element index into sources/capV/capI/indI
+	g      float64 // 2C/h (capacitors) or 2L/h (inductors)
 }
 
 // Transient is a live fixed-step trapezoidal transient simulation: the
@@ -135,7 +158,35 @@ func Compile(c *Circuit, h float64) (*Compiled, error) {
 		return nil, fmt.Errorf("circuit: transient matrix: %w", err)
 	}
 	cp.lu = lu
+	cp.buildStepOps()
 	return cp, nil
+}
+
+// buildStepOps flattens the element list into the kernel records used
+// by StepTrace, preserving Step's iteration orders exactly.
+func (cp *Compiled) buildStepOps() {
+	c := cp.c
+	rec := func(e *element, i int) stepOp {
+		op := stepOp{kind: e.kind, ia: int(e.a) - 1, ib: int(e.b) - 1, br: e.branch, ei: i}
+		switch e.kind {
+		case kindC, kindL:
+			op.g = 2 * e.val / cp.h
+		}
+		return op
+	}
+	for i := range c.elements {
+		e := &c.elements[i]
+		if e.kind == kindR {
+			continue // resistors live in the factored matrix only
+		}
+		cp.stepOps = append(cp.stepOps, rec(e, i))
+		if e.kind == kindL {
+			cp.indOps = append(cp.indOps, rec(e, i))
+		}
+	}
+	for _, i := range cp.capIdx {
+		cp.capOps = append(cp.capOps, rec(&c.elements[i], i))
+	}
 }
 
 // NewTransient compiles the circuit for step size h seconds and returns
@@ -387,6 +438,171 @@ func (t *Transient) branchVoltagePrev(e *element) float64 {
 
 // V returns the most recent voltage at a node.
 func (t *Transient) V(nd Node) float64 { return t.nodeV(nd) }
+
+// StepTrace advances the simulation len(src) steps in one call: step s
+// drives source ref with src[s]*mul/div + add and records node nd's
+// voltage into dst[s]. It is the batched trace-replay kernel — no
+// per-step method dispatch, no allocation, indices and companion
+// conductances resolved at compile time, bounds checks hoisted by
+// slicing once up front. The arithmetic replicates SetSourceRef + Step
+// + V exactly (same addends, same order, same precomputed constants),
+// so a StepTrace run is bit-identical to the equivalent per-cycle loop.
+//
+// The (mul, div, add) form exists so the testbed can reproduce its
+// amps conversion energy*1e-12/(dt*supply) + leakage without a
+// per-cycle closure; pass (1, 1, 0) to feed src through unchanged.
+func (t *Transient) StepTrace(nd Node, ref int, dst, src []float64, mul, div, add float64) {
+	cp := t.cp
+	n := len(src)
+	if len(dst) < n {
+		panic("circuit: StepTrace dst shorter than src")
+	}
+	dst = dst[:n]
+	ops, capOps, indOps := cp.stepOps, cp.capOps, cp.indOps
+	b, x := t.rhs, t.x
+	capV, capI, indI, sources := t.capV, t.capI, t.indI, t.sources
+	lu := cp.lu
+	h := cp.h
+	di := int(nd) - 1
+	for s := 0; s < n; s++ {
+		sources[ref] = src[s]*mul/div + add
+		for i := range b {
+			b[i] = 0
+		}
+		for oi := range ops {
+			op := &ops[oi]
+			switch op.kind {
+			case kindC:
+				ieq := op.g*capV[op.ei] + capI[op.ei]
+				if op.ia >= 0 {
+					b[op.ia] += ieq
+				}
+				if op.ib >= 0 {
+					b[op.ib] -= ieq
+				}
+			case kindL:
+				var vp float64
+				if op.ia >= 0 {
+					vp = x[op.ia]
+				}
+				if op.ib >= 0 {
+					vp -= x[op.ib]
+				}
+				b[op.br] = -op.g*indI[op.ei] - vp
+			case kindV:
+				b[op.br] = sources[op.ei]
+			default: // kindI
+				v := sources[op.ei]
+				if op.ia >= 0 {
+					b[op.ia] -= v
+				}
+				if op.ib >= 0 {
+					b[op.ib] += v
+				}
+			}
+		}
+		lu.solve(b, x)
+		t.time += h
+		for oi := range capOps {
+			op := &capOps[oi]
+			var vNew float64
+			if op.ia >= 0 {
+				vNew = x[op.ia]
+			}
+			if op.ib >= 0 {
+				vNew -= x[op.ib]
+			}
+			iNew := op.g*(vNew-capV[op.ei]) - capI[op.ei]
+			capV[op.ei], capI[op.ei] = vNew, iNew
+		}
+		for oi := range indOps {
+			op := &indOps[oi]
+			indI[op.ei] = x[op.br]
+		}
+		if di >= 0 {
+			dst[s] = x[di]
+		} else {
+			dst[s] = 0
+		}
+	}
+}
+
+// StateDim returns the length of the dynamic-state vector exchanged by
+// StateVec/SetStateVec: the MNA solution plus the capacitor and
+// inductor companion histories.
+func (cp *Compiled) StateDim() int { return cp.n + 2*len(cp.capOps) + len(cp.indOps) }
+
+// StateDim returns the length of this state's dynamic-state vector.
+func (t *Transient) StateDim() int { return t.cp.StateDim() }
+
+// StateVec copies the complete dynamic state into dst (length ≥
+// StateDim): the solution vector x, then (capV, capI) per capacitor,
+// then indI per inductor. Together with the live source values — which
+// the caller holds fixed or re-drives per step — this vector fully
+// determines all future steps: the step map is affine in it, which is
+// what lets the trace-replay engine build an exact per-period linear
+// model of the network (source values and simulation time are
+// deliberately excluded; neither feeds the dynamics).
+func (t *Transient) StateVec(dst []float64) {
+	cp := t.cp
+	i := copy(dst, t.x)
+	for oi := range cp.capOps {
+		ei := cp.capOps[oi].ei
+		dst[i] = t.capV[ei]
+		dst[i+1] = t.capI[ei]
+		i += 2
+	}
+	for oi := range cp.indOps {
+		dst[i] = t.indI[cp.indOps[oi].ei]
+		i++
+	}
+}
+
+// SetStateVec overwrites the dynamic state from a vector laid out as by
+// StateVec.
+func (t *Transient) SetStateVec(src []float64) {
+	cp := t.cp
+	i := copy(t.x, src[:cp.n])
+	for oi := range cp.capOps {
+		ei := cp.capOps[oi].ei
+		t.capV[ei] = src[i]
+		t.capI[ei] = src[i+1]
+		i += 2
+	}
+	for oi := range cp.indOps {
+		t.indI[cp.indOps[oi].ei] = src[i]
+		i++
+	}
+}
+
+// MaxStateDelta returns the largest elementwise difference between this
+// state and o across the solution vector, companion history and live
+// sources, scaled relative for magnitudes above 1. Both states must
+// share one Compiled. The trace-replay early exit uses it to decide
+// when the PDN response over one drive period has converged.
+func (t *Transient) MaxStateDelta(o *Transient) float64 {
+	if t.cp != o.cp {
+		panic("circuit: MaxStateDelta across different compiled systems")
+	}
+	var d float64
+	acc := func(a, b []float64) {
+		for i := range a {
+			diff := math.Abs(a[i] - b[i])
+			if s := math.Max(math.Abs(a[i]), math.Abs(b[i])); s > 1 {
+				diff /= s
+			}
+			if diff > d {
+				d = diff
+			}
+		}
+	}
+	acc(t.x, o.x)
+	acc(t.capV, o.capV)
+	acc(t.capI, o.capI)
+	acc(t.indI, o.indI)
+	acc(t.sources, o.sources)
+	return d
+}
 
 // BranchCurrent returns the most recent current through a named V
 // source or inductor (positive a→b).

@@ -86,6 +86,86 @@ func TestGenerateMemoizationAccounting(t *testing.T) {
 	}
 }
 
+// TestGenerateReplayMatchesExact: GA-generated programs close their
+// loops with dec/jnz, whose energy trace never proves periodic, so the
+// trace-replay fast path streams the full trace — which is bit-exact
+// against the reference loop. A search run through replay must
+// therefore reproduce the ExactEval search bit-identically.
+func TestGenerateReplayMatchesExact(t *testing.T) {
+	p := testbed.Bulldozer()
+	gen := func(exact bool) *Stressmark {
+		sm, err := Generate(context.Background(), Options{
+			Platform:      p,
+			LoopCycles:    36,
+			GA:            smallGA(11),
+			MeasureCycles: 2000,
+			WarmupCycles:  1200,
+			Seed:          11,
+			ExactEval:     exact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	exact := gen(true)
+	replay := gen(false)
+	if exact.DroopV != replay.DroopV {
+		t.Errorf("droop diverged: exact %v replay %v", exact.DroopV, replay.DroopV)
+	}
+	if !reflect.DeepEqual(exact.Search.History, replay.Search.History) {
+		t.Errorf("history diverged:\n exact  %v\n replay %v",
+			exact.Search.History, replay.Search.History)
+	}
+	if !reflect.DeepEqual(exact.Genome, replay.Genome) {
+		t.Error("winning genomes diverged")
+	}
+}
+
+// TestGenerateSharedTraceCache: with Repeats > 1 every scored candidate
+// is measured K times on the same RunConfig, so repeats 2..K must hit
+// the compiled platform's trace cache; 8 parallel workers share one
+// cache (run under -race). WrapRunner doubles as the capture hook for
+// the underlying CompiledPlatform.
+func TestGenerateSharedTraceCache(t *testing.T) {
+	p := testbed.Bulldozer()
+	cfg := smallGA(13)
+	cfg.Parallel = 8
+	cfg.Repeats = 3
+	var cp *testbed.CompiledPlatform
+	sm, err := Generate(context.Background(), Options{
+		Platform:      p,
+		LoopCycles:    36,
+		GA:            cfg,
+		MeasureCycles: 2000,
+		WarmupCycles:  1200,
+		Seed:          13,
+		WrapRunner: func(r testbed.Runner) testbed.Runner {
+			cp = r.(*testbed.CompiledPlatform)
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := cp.TraceStats()
+	res := sm.Search
+	if ts.Misses == 0 {
+		t.Fatal("no trace-cache misses: fast path never engaged")
+	}
+	// Distinct genomes have distinct trace keys, and fitness memoization
+	// keeps duplicate genomes from reaching Run, so trace misses cannot
+	// exceed fitness misses...
+	if ts.Misses > uint64(res.CacheMisses) {
+		t.Errorf("trace misses %d > fitness misses %d", ts.Misses, res.CacheMisses)
+	}
+	// ...and each fitness evaluation's repeats 2 and 3 replay the trace
+	// recorded (or found) by repeat 1.
+	if want := 2 * uint64(res.CacheMisses); ts.Hits < want {
+		t.Errorf("trace hits %d < %d: repeats are not sharing traces", ts.Hits, want)
+	}
+}
+
 // TestGenomeFingerprint pins the fingerprint's canonicality: equal
 // content → equal key, any field change → different key.
 func TestGenomeFingerprint(t *testing.T) {

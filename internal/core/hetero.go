@@ -139,10 +139,11 @@ func GenerateHetero(ctx context.Context, opt Options) (*HeteroStressmark, error)
 			specs[i].Program = progs[i]
 		}
 		m, err := runner.Run(testbed.RunConfig{
-			Threads:      specs,
-			MaxCycles:    opt.WarmupCycles + opt.MeasureCycles,
-			WarmupCycles: opt.WarmupCycles,
-			FPThrottle:   opt.FPThrottle,
+			Threads:        specs,
+			MaxCycles:      opt.WarmupCycles + opt.MeasureCycles,
+			WarmupCycles:   opt.WarmupCycles,
+			FPThrottle:     opt.FPThrottle,
+			ExactCycleLoop: opt.ExactEval,
 		})
 		if err != nil {
 			return 0, err

@@ -83,7 +83,9 @@ type Config struct {
 	// Repeats, when > 1, measures each candidate K times and scores it
 	// with the outlier-rejected centre of the samples (median, then
 	// mean of samples within 3 MADs) — the standard defence against
-	// noisy scope captures.
+	// noisy scope captures. On a testbed.CompiledPlatform the K runs
+	// share one cached chip trace, so repeats 2..K replay only the PDN
+	// phase and cost far less than the first measurement.
 	Repeats int
 	// EvalTimeout bounds each evaluation attempt; an attempt that
 	// exceeds it is abandoned and counts as a transient failure.

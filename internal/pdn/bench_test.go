@@ -1,0 +1,55 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkStepTrace compares the per-cycle Step/VDie round trip
+// against the batched StepTrace kernel on the same current trace. The
+// kernel's flattened element records and single bounds-checked loop are
+// where the trace-replay measurement pipeline gets its PDN-side
+// throughput; the two must stay bit-identical (see
+// TestCompiledMatchesNewBitwise and the testbed equivalence suite).
+func BenchmarkStepTrace(b *testing.B) {
+	const n = 65536
+	cfg := Bulldozer()
+	dt := 1 / 3.3e9
+	src := make([]float64, n)
+	for i := range src {
+		// A droop-exciting square-ish load with a little harmonic content.
+		src[i] = 20 + 15*math.Sin(2*math.Pi*float64(i)/36) + 5*math.Sin(2*math.Pi*float64(i)/7)
+	}
+
+	cp, err := Compile(cfg, dt)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("StepLoop", func(b *testing.B) {
+		dst := make([]float64, n)
+		b.ReportAllocs()
+		b.SetBytes(n * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := cp.Get()
+			for j, c := range src {
+				p.Step(c)
+				dst[j] = p.VDie()
+			}
+			cp.Put(p)
+		}
+	})
+
+	b.Run("Batched", func(b *testing.B) {
+		dst := make([]float64, n)
+		b.ReportAllocs()
+		b.SetBytes(n * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := cp.Get()
+			p.StepTrace(dst, src, 1, 1, 0)
+			cp.Put(p)
+		}
+	})
+}

@@ -266,9 +266,44 @@ func (p *PDN) Step(currentAmps float64) {
 // VDie returns the most recent on-die supply voltage.
 func (p *PDN) VDie() float64 { return p.tr.V(p.die) }
 
+// StepTrace advances len(src) steps in one batched kernel call: step i
+// draws sink current src[i]*mul/div + add amps and records the die
+// voltage into dst[i]. Bit-identical to the equivalent Step/VDie loop
+// (see circuit.Transient.StepTrace); the (mul, div, add) form lets the
+// testbed replay a per-cycle energy trace through its exact
+// amps-conversion arithmetic without a per-cycle closure.
+func (p *PDN) StepTrace(dst, src []float64, mul, div, add float64) {
+	p.tr.StepTrace(p.die, p.sinkRef, dst, src, mul, div, add)
+}
+
+// MaxStateDelta returns the largest (relative above 1) elementwise
+// difference between two states over one Compiled — the trace-replay
+// convergence metric.
+func (p *PDN) MaxStateDelta(o *PDN) float64 { return p.tr.MaxStateDelta(o.tr) }
+
+// StateDim, StateVec and SetStateVec expose the network's dynamic
+// state as a flat vector (see circuit.Transient.StateVec). The network
+// is linear, so one drive period is an affine map over this vector —
+// the replay engine samples that map once and then advances period
+// boundaries with dense mat-vecs instead of per-cycle MNA solves.
+func (p *PDN) StateDim() int             { return p.tr.StateDim() }
+func (p *PDN) StateVec(dst []float64)    { p.tr.StateVec(dst) }
+func (p *PDN) SetStateVec(src []float64) { p.tr.SetStateVec(src) }
+
 // SetSupply changes the regulator set-point (used by the
 // voltage-at-failure procedure, which lowers Vdd in 12.5 mV steps).
 func (p *PDN) SetSupply(volts float64) { p.tr.SetSourceRef(p.vrmRef, volts) }
+
+// StepTrace runs a full current trace (amps) through a pooled state
+// from the network's DC operating point and writes the die-voltage
+// waveform into dst. This is the batched measurement kernel: one call
+// replaces len(src) Step/VDie round trips with a flattened,
+// allocation-free inner loop over the precompiled element records.
+func (cp *Compiled) StepTrace(dst, src []float64) {
+	p := cp.Get()
+	p.StepTrace(dst, src, 1, 1, 0)
+	cp.Put(p)
+}
 
 // SimulateTrace runs a full current trace through a fresh PDN instance
 // and returns the die-voltage waveform. Both slices share index i ↔
@@ -279,10 +314,7 @@ func SimulateTrace(cfg Config, dt float64, current []float64) ([]float64, error)
 		return nil, err
 	}
 	out := make([]float64, len(current))
-	for i, amps := range current {
-		p.Step(amps)
-		out[i] = p.VDie()
-	}
+	p.StepTrace(out, current, 1, 1, 0)
 	return out, nil
 }
 

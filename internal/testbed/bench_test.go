@@ -60,3 +60,114 @@ func BenchmarkEvalColdVsCompiled(b *testing.B) {
 		}
 	})
 }
+
+// replayBenchConfig is a long periodic measurement: a 2M-cycle run of a
+// jmp-closed loop whose energy trace proves periodic within a few
+// thousand cycles, so the trace pipeline gets both of its early exits
+// (chip-side period detection, PDN steady-state convergence).
+func replayBenchConfig(b *testing.B, p Platform) RunConfig {
+	b.Helper()
+	threads, err := SpreadPlacement(p.Chip, jmpLoop("bench-replay", resonancePeriodCycles(p)), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return RunConfig{
+		Threads:      threads,
+		MaxCycles:    2_000_000,
+		WarmupCycles: 2000,
+		SupplyVolts:  p.Nominal() - 0.10,
+	}
+}
+
+// BenchmarkMeasureExactVsReplay quantifies the trace pipeline on a long
+// periodic run. Exact is the reference per-cycle loop; Replay pays
+// phase 1 every iteration (ClearTraceCache) but still stops the chip at
+// the verified period and early-exits the PDN; ReplayCached is the
+// steady state for repeats, supply ladders and fault retries — phase 2
+// only. The acceptance bar for this PR is Replay ≥5× over Exact.
+func BenchmarkMeasureExactVsReplay(b *testing.B) {
+	p := Bulldozer()
+
+	run := func(b *testing.B, cp *CompiledPlatform, rc RunConfig, clear bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if clear {
+				cp.ClearTraceCache()
+			}
+			if _, err := cp.Run(rc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("Exact", func(b *testing.B) {
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := replayBenchConfig(b, p)
+		rc.ExactCycleLoop = true
+		if _, err := cp.Run(rc); err != nil { // prime pools + settle cache
+			b.Fatal(err)
+		}
+		run(b, cp, rc, false)
+	})
+
+	b.Run("Replay", func(b *testing.B) {
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := replayBenchConfig(b, p)
+		if _, err := cp.Run(rc); err != nil {
+			b.Fatal(err)
+		}
+		run(b, cp, rc, true)
+	})
+
+	b.Run("ReplayCached", func(b *testing.B) {
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := replayBenchConfig(b, p)
+		if _, err := cp.Run(rc); err != nil {
+			b.Fatal(err)
+		}
+		run(b, cp, rc, false)
+	})
+}
+
+// BenchmarkMedianOfKReplay is the GA's noise-rejection pattern
+// (ga.Config.Repeats): each candidate measured K times on one
+// RunConfig. With the trace cache, runs 2..K replay run 1's trace, so
+// K=5 must cost well under 5 single measurements — the acceptance bar
+// for this PR is <2× a single cold measurement.
+func BenchmarkMedianOfKReplay(b *testing.B) {
+	p := Bulldozer()
+
+	run := func(b *testing.B, k int) {
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := replayBenchConfig(b, p)
+		if _, err := cp.Run(rc); err != nil { // prime pools + settle cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp.ClearTraceCache() // each candidate is a fresh program
+			for j := 0; j < k; j++ {
+				if _, err := cp.Run(rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	b.Run("Single", func(b *testing.B) { run(b, 1) })
+	b.Run("K5", func(b *testing.B) { run(b, 5) })
+}

@@ -1,7 +1,9 @@
 package testbed
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/cpu"
@@ -32,6 +34,11 @@ type CompiledPlatform struct {
 	settled map[float64]*pdn.PDN
 
 	scopeBufs sync.Pool // []float64 waveform storage
+	vbufs     sync.Pool // []float64 replay voltage buffers
+
+	// traces caches phase-1 chip traces keyed by traceKey, shared by
+	// every replay-eligible run of this platform.
+	traces traceCache
 }
 
 // Compile validates the platform once and builds the shared immutable
@@ -88,12 +95,88 @@ func (cp *CompiledPlatform) getNet(supplyOverride float64) *pdn.PDN {
 	return net
 }
 
-// Run executes one measurement through the fast path. The result is
-// bit-identical to Platform.Run(rc).
+// Run executes one measurement through the fast path. Most runs go
+// through the two-phase trace-replay pipeline: phase 1 runs the chip
+// alone and records a per-cycle current trace (cached across runs,
+// stopping early when the trace proves periodic), phase 2 streams it
+// through the batched PDN kernel with a steady-state early exit. Full
+// replays are bit-identical to Platform.Run(rc); periodic early exits
+// agree to the convergence tolerance (and exactly on energy and issue
+// totals). RunConfig.ExactCycleLoop — or an OS model, MaxCycles of 0,
+// or a run too long to buffer — forces the reference loop.
 func (cp *CompiledPlatform) Run(rc RunConfig) (*Measurement, error) {
-	if len(rc.Threads) == 0 {
-		return nil, fmt.Errorf("testbed: no threads to run")
+	if err := rc.Validate(); err != nil {
+		return nil, err
 	}
+	if cp.replayEligible(rc) {
+		m, err := cp.runReplay(rc)
+		if err != errTraceUnsupported {
+			return m, err
+		}
+	}
+	return cp.runExact(rc)
+}
+
+// replayEligible gates the trace fast path: the exact loop is required
+// when the caller asked for it, when an OS model injects aperiodic
+// interference the trace cannot capture, and when the run is unbounded
+// or too long to buffer at 16 bytes/cycle.
+func (cp *CompiledPlatform) replayEligible(rc RunConfig) bool {
+	return !rc.ExactCycleLoop && rc.OS == nil && rc.MaxCycles > 0 && rc.MaxCycles <= traceMaxCycles
+}
+
+// runReplay executes rc through the trace pipeline, building and
+// caching the chip trace on first sight of this configuration. Runs
+// with no sample consumers are memoized outright: the simulator is
+// deterministic, so a repeated (trace, supply, warmup) run — the GA's
+// median-of-K scoring, a fault-injected retry — returns a copy of the
+// finished Measurement without touching the PDN.
+func (cp *CompiledPlatform) runReplay(rc RunConfig) (*Measurement, error) {
+	key, ok := traceKey(rc)
+	if !ok {
+		return nil, errTraceUnsupported
+	}
+	var memoKey string
+	if memoable := !rc.RecordWaveform && rc.TriggerThreshold <= 0 && rc.Histogram == nil; memoable {
+		var w [16]byte
+		binary.LittleEndian.PutUint64(w[:8], math.Float64bits(rc.SupplyVolts))
+		binary.LittleEndian.PutUint64(w[8:], rc.WarmupCycles)
+		memoKey = key + string(w[:])
+		if m, ok := cp.traces.getResult(memoKey); ok {
+			return &m, nil
+		}
+	}
+	tr := cp.traces.get(key)
+	if tr == nil {
+		var err error
+		tr, err = cp.buildTrace(rc)
+		if err != nil {
+			return nil, err
+		}
+		cp.traces.put(key, tr)
+	}
+	if tr.unsupported {
+		return nil, errTraceUnsupported
+	}
+	m, err := cp.replay(tr, rc)
+	if err == nil && memoKey != "" {
+		cp.traces.putResult(memoKey, *m)
+	}
+	return m, err
+}
+
+// TraceStats reports the platform's trace-cache and fast-path counters.
+func (cp *CompiledPlatform) TraceStats() TraceStats { return cp.traces.stats() }
+
+// ClearTraceCache drops every cached chip trace (benchmarking aid).
+func (cp *CompiledPlatform) ClearTraceCache() { cp.traces.clear() }
+
+// SetTraceCacheLimit overrides the trace cache's byte budget
+// (default 128 MiB). It applies to subsequent insertions.
+func (cp *CompiledPlatform) SetTraceCacheLimit(bytes int) { cp.traces.setLimit(bytes) }
+
+// runExact is the reference per-cycle measurement loop on pooled state.
+func (cp *CompiledPlatform) runExact(rc RunConfig) (*Measurement, error) {
 	chip, err := cp.getChip()
 	if err != nil {
 		return nil, err

@@ -61,6 +61,17 @@ func (f FailureModel) Check(vDie float64, res *cpu.CycleResult) (bool, isa.Unit)
 	return false, isa.UnitNone
 }
 
+// checkPacked is Check against a trace-packed issue word (8 bits per
+// unit, see packIssues): same units, same thresholds, same verdict.
+func (f FailureModel) checkPacked(vDie float64, packed uint64) bool {
+	for u := isa.Unit(1); u < isa.NumUnits; u++ {
+		if packed>>(8*uint(u))&0xff != 0 && f.CriticalV[u] > 0 && vDie < f.CriticalV[u] {
+			return true
+		}
+	}
+	return false
+}
+
 // FailureStep is the supply-voltage decrement of the paper's procedure
 // (§5.A.4): "we reduce the operating voltage in decrements of 12.5 mV
 // until failure occurs."

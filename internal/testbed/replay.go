@@ -1,0 +1,453 @@
+package testbed
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/scope"
+)
+
+// This file is phase 2 of the two-phase measurement pipeline: stream a
+// recorded chip trace (trace.go) through the batched PDN kernel and
+// reproduce Platform.measure's statistics. For the cycles it actually
+// steps, the arithmetic is bit-identical to the exact loop — the kernel
+// computes power.Amps(e, dt, supply) + leakage as e*mul/div + add with
+// mul = 1e-12 and div = dt*supply, the same operation sequence — so a
+// full-length replay returns the same Measurement bit for bit.
+//
+// Two independent early exits make replays cheap:
+//   - chip side: a verified-periodic trace stores only head + one
+//     period; the remaining cycles re-stream the period slice.
+//   - PDN side: once the network's state at consecutive period
+//     boundaries stops moving (relative delta ≤ convergeEps), every
+//     later period produces the same voltage response, so the remaining
+//     MinV/MeanV/EnergyPJ/UnitTotals are extrapolated in closed form
+//     from the converged period. This is skipped when a scope, trigger
+//     or histogram consumes every sample.
+
+const (
+	// replayChunk is the batch size for streaming non-periodic spans.
+	replayChunk = 4096
+	// convergeTailV bounds the projected remaining die-voltage drift
+	// (volts) below which the periodic response is declared converged.
+	// The per-boundary waveform delta decays geometrically with ratio ρ
+	// once transients dominate, so the total future movement of any
+	// sample is at most d·ρ/(1−ρ); requiring that projection under
+	// 1e-10 V keeps the extrapolated voltage statistics well within
+	// 1e-9 V of the exact loop regardless of how slowly the network
+	// rings down.
+	convergeTailV = 1e-10
+	// convergeWindow is how many recent boundary deltas feed the ρ
+	// estimate; ρ is their worst (largest) consecutive ratio, because
+	// lightly damped modes beat and the instantaneous ratio at a beat
+	// minimum wildly understates the true decay envelope.
+	convergeWindow = 4
+	// convergeRuns is how many consecutive boundaries must qualify
+	// before the exit is taken — a second guard against beat minima.
+	convergeRuns = 3
+)
+
+// getVBuf returns a pooled voltage buffer of length n.
+func (cp *CompiledPlatform) getVBuf(n int) []float64 {
+	if b, ok := cp.vbufs.Get().([]float64); ok && cap(b) >= n {
+		return b[:n]
+	}
+	return make([]float64, n)
+}
+
+// replay reconstructs the Measurement for rc from a recorded trace.
+func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, error) {
+	p := cp.p
+	dt := p.Chip.CycleSeconds()
+	vNom := p.PDN.VNom
+	supply := vNom
+	if rc.SupplyVolts > 0 {
+		supply = rc.SupplyVolts
+	}
+	net := cp.getNet(rc.SupplyVolts)
+
+	var scopeBuf []float64
+	var sc *scope.Scope
+	if rc.RecordWaveform {
+		if b, ok := cp.scopeBufs.Get().([]float64); ok {
+			scopeBuf = b
+		}
+		rate := rc.ScopeSampleHz
+		if rate <= 0 {
+			rate = p.Chip.ClockHz
+		}
+		s, err := scope.NewInto(p.Chip.ClockHz, rate, true, scopeBuf)
+		if err != nil {
+			return nil, err
+		}
+		sc = s
+	}
+	var trig *scope.Trigger
+	if rc.TriggerThreshold > 0 {
+		trig = scope.NewTrigger(rc.TriggerThreshold, 0.002)
+	}
+	// Sample consumers need every post-warmup voltage, which rules out
+	// the PDN early exit (but not the chip-side period reuse).
+	consumers := sc != nil || trig != nil || rc.Histogram != nil
+
+	leakage := p.Power.LeakageAmps(p.Chip.Modules, supply)
+	div := dt * supply
+	warm := rc.WarmupCycles
+
+	m := &Measurement{MinV: supply}
+	var sumV float64
+	var nV uint64
+
+	// Total cycles the exact loop would simulate: a periodic trace runs
+	// to MaxCycles; a full trace already holds every cycle (it is
+	// shorter than MaxCycles only when the program finished).
+	N := uint64(len(tr.energy))
+	if tr.periodic {
+		N = rc.MaxCycles
+	}
+	head := uint64(len(tr.energy)) // stored span (headLen+periodLen when periodic)
+	pLen := uint64(tr.periodLen)
+	pStart := uint64(tr.headLen)
+
+	bufLen := uint64(replayChunk)
+	if tr.periodic && pLen > bufLen {
+		bufLen = pLen
+	}
+	if bufLen > N {
+		bufLen = N
+	}
+	vbuf := cp.getVBuf(int(bufLen))
+
+	// scan folds one simulated span into the measurement, in the exact
+	// loop's per-cycle order.
+	scan := func(base uint64, es []float64, qs []uint64, vs []float64) {
+		for i := range es {
+			cyc := base + uint64(i)
+			m.EnergyPJ += es[i]
+			q := qs[i]
+			for u := 0; u < int(isa.NumUnits); u++ {
+				m.UnitTotals[u] += (q >> (8 * uint(u))) & 0xff
+			}
+			if cyc < warm {
+				continue
+			}
+			v := vs[i]
+			if d := vNom - v; d > m.MaxDroopV {
+				m.MaxDroopV = d
+			}
+			if o := v - vNom; o > m.MaxOvershootV {
+				m.MaxOvershootV = o
+			}
+			if v < m.MinV {
+				m.MinV = v
+			}
+			sumV += v
+			nV++
+			if sc != nil {
+				sc.Sample(v)
+			}
+			if trig != nil {
+				trig.Sample(v)
+			}
+			if rc.Histogram != nil {
+				rc.Histogram.Add(v)
+			}
+			if !m.Failed && p.Failure.checkPacked(v, q) {
+				m.Failed = true
+				m.FailCycle = cyc
+			}
+		}
+	}
+
+	// Stored entries, streamed straight through.
+	cyc := uint64(0)
+	directEnd := head
+	if directEnd > N {
+		directEnd = N
+	}
+	for cyc < directEnd {
+		n := uint64(len(vbuf))
+		if n > directEnd-cyc {
+			n = directEnd - cyc
+		}
+		es := tr.energy[cyc : cyc+n]
+		qs := tr.issues[cyc : cyc+n]
+		net.StepTrace(vbuf[:n], es, 1e-12, div, leakage)
+		scan(cyc, es, qs, vbuf[:n])
+		cyc += n
+	}
+
+	// Periodic region: re-stream the stored period, watching the
+	// period-boundary die-voltage waveform for convergence. The full
+	// PDN state is the wrong gauge here — board-stage L/R and C·ESR
+	// time constants run to milliseconds, so internal states keep
+	// drifting long after the die-voltage response (the only thing the
+	// extrapolated statistics consume) has settled.
+	if tr.periodic && cyc < N && consumers {
+		// Sample consumers need every post-warmup voltage, so period
+		// tiles stream through the full kernel with no early exit.
+		period := tr.energy[pStart:head]
+		periodQ := tr.issues[pStart:head]
+		for cyc < N {
+			n := pLen
+			if n > N-cyc {
+				n = N - cyc
+			}
+			es := period[:n]
+			qs := periodQ[:n]
+			net.StepTrace(vbuf[:n], es, 1e-12, div, leakage)
+			scan(cyc, es, qs, vbuf[:n])
+			cyc += n
+		}
+	} else if tr.periodic && cyc < N {
+		period := tr.energy[pStart:head]
+		periodQ := tr.issues[pStart:head]
+
+		// Affine period model. The network is linear and every tile
+		// drives it with the same current sequence, so one period is an
+		// affine map of the boundary state s: the end state is
+		// E(s) = eRef + A·(s−sRef) and the in-period die voltages are
+		// v_c(s) = vRef[c] + W_c·(s−sRef). Sampling the map is exact —
+		// no small-perturbation approximation, linearity makes the
+		// finite difference the true derivative — and costs dim+1
+		// kernel runs of one period each. After that, each boundary
+		// advances with O(dim² + pLen·dim) arithmetic instead of pLen
+		// dense MNA solves, which is where a long periodic replay's
+		// time would otherwise go. The first tile has ds = 0, so its
+		// voltages are the kernel's own output bit for bit; later
+		// tiles pick up ~1e-13 V of float reordering noise, far inside
+		// the convergence tolerances.
+		dim := net.StateDim()
+		sRef := make([]float64, dim)
+		net.StateVec(sRef)
+		vRef := cp.getVBuf(int(pLen))
+		net.StepTrace(vRef[:pLen], period, 1e-12, div, leakage)
+		eRef := make([]float64, dim)
+		net.StateVec(eRef)
+		A := make([]float64, dim*dim)       // column k at A[k*dim:]
+		W := make([]float64, int(pLen)*dim) // row c at W[c*dim:]
+		scratch := make([]float64, dim)
+		vTmp := cp.getVBuf(int(pLen))
+		for k := 0; k < dim; k++ {
+			copy(scratch, sRef)
+			scratch[k]++
+			net.SetStateVec(scratch)
+			net.StepTrace(vTmp[:pLen], period, 1e-12, div, leakage)
+			net.StateVec(scratch)
+			col := A[k*dim : k*dim+dim]
+			for i := range col {
+				col[i] = scratch[i] - eRef[i]
+			}
+			for c := 0; c < int(pLen); c++ {
+				W[c*dim+k] = vTmp[c] - vRef[c]
+			}
+		}
+		cp.vbufs.Put(vTmp[:0])
+
+		volts := func(dst []float64, ds []float64) {
+			for c := range dst {
+				v := vRef[c]
+				row := W[c*dim : c*dim+dim]
+				for i, w := range row {
+					v += w * ds[i]
+				}
+				dst[c] = v
+			}
+		}
+
+		sCur := append([]float64(nil), sRef...)
+		sNext := make([]float64, dim)
+		ds := make([]float64, dim)
+		prevV := cp.getVBuf(int(pLen))
+		converged := uint64(0)
+		havePrev := false
+		var dHist [convergeWindow]float64
+		nHist := 0
+		runs := 0
+		for cyc+pLen <= N {
+			for i := range ds {
+				ds[i] = sCur[i] - sRef[i]
+			}
+			volts(vbuf[:pLen], ds)
+			scan(cyc, period, periodQ, vbuf[:pLen])
+			cyc += pLen
+			if cyc < N {
+				if !havePrev {
+					copy(prevV, vbuf[:pLen])
+					havePrev = true
+				} else {
+					var d float64
+					for i := uint64(0); i < pLen; i++ {
+						if dd := math.Abs(vbuf[i] - prevV[i]); dd > d {
+							d = dd
+						}
+					}
+					if nHist < convergeWindow {
+						dHist[nHist] = d
+						nHist++
+					} else {
+						copy(dHist[:], dHist[1:])
+						dHist[convergeWindow-1] = d
+					}
+					// Qualify when the geometric projection of all
+					// future movement is under convergeTailV (d == 0
+					// means the response already hit a floating-point
+					// fixed cycle).
+					ok := false
+					if d == 0 {
+						ok = true
+					} else if nHist == convergeWindow {
+						rho := 0.0
+						for j := 1; j < convergeWindow; j++ {
+							if r := dHist[j] / dHist[j-1]; r > rho {
+								rho = r
+							}
+						}
+						if rho < 1 && d*rho/(1-rho) < convergeTailV {
+							ok = true
+						}
+					}
+					// Only trust a converged period whose samples all
+					// counted toward statistics (fully past warmup).
+					if ok && cyc-pLen >= warm {
+						if runs++; runs >= convergeRuns {
+							converged = cyc
+							break
+						}
+					} else {
+						runs = 0
+					}
+					copy(prevV, vbuf[:pLen])
+				}
+			}
+			// Advance the boundary state: sNext = eRef + A·ds.
+			copy(sNext, eRef)
+			for k := 0; k < dim; k++ {
+				if d := ds[k]; d != 0 {
+					col := A[k*dim : k*dim+dim]
+					for i, a := range col {
+						sNext[i] += a * d
+					}
+				}
+			}
+			sCur, sNext = sNext, sCur
+		}
+		cp.vbufs.Put(prevV[:0])
+		if converged == 0 && cyc < N {
+			// MaxCycles is not period-aligned: finish the partial tail
+			// from the next period's prefix.
+			rem := N - cyc
+			for i := range ds {
+				ds[i] = sCur[i] - sRef[i]
+			}
+			volts(vbuf[:rem], ds)
+			scan(cyc, period[:rem], periodQ[:rem], vbuf[:rem])
+			cyc += rem
+		}
+		cp.vbufs.Put(vRef[:0])
+		if converged > 0 {
+			cp.traces.noteEarlyExit()
+			// Every remaining period repeats the response in
+			// vbuf[:pLen]; fold the remaining N-converged cycles in
+			// closed form. No new failure can appear: the converged
+			// period was scanned and its repeats are identical to
+			// within convergeEps.
+			remaining := N - converged
+			K := remaining / pLen
+			rem := remaining % pLen
+			var psum float64
+			pmin, pmax := vbuf[0], vbuf[0]
+			for _, v := range vbuf[:pLen] {
+				psum += v
+				if v < pmin {
+					pmin = v
+				}
+				if v > pmax {
+					pmax = v
+				}
+			}
+			if K > 0 {
+				sumV += psum * float64(K)
+				nV += K * pLen
+				if d := vNom - pmin; d > m.MaxDroopV {
+					m.MaxDroopV = d
+				}
+				if o := pmax - vNom; o > m.MaxOvershootV {
+					m.MaxOvershootV = o
+				}
+				if pmin < m.MinV {
+					m.MinV = pmin
+				}
+				m.EnergyPJ += tr.periodEnergy * float64(K)
+				for u := range tr.periodIssues {
+					m.UnitTotals[u] += tr.periodIssues[u] * K
+				}
+			}
+			for i := uint64(0); i < rem; i++ {
+				v := vbuf[i]
+				if d := vNom - v; d > m.MaxDroopV {
+					m.MaxDroopV = d
+				}
+				if o := v - vNom; o > m.MaxOvershootV {
+					m.MaxOvershootV = o
+				}
+				if v < m.MinV {
+					m.MinV = v
+				}
+				sumV += v
+				nV++
+				m.EnergyPJ += period[i]
+				q := periodQ[i]
+				for u := 0; u < int(isa.NumUnits); u++ {
+					m.UnitTotals[u] += (q >> (8 * uint(u))) & 0xff
+				}
+			}
+		}
+	}
+
+	m.Cycles = N
+	if tr.periodic {
+		// Chip counters at N cycles from the verified per-period
+		// deltas: ref is the boundary at headLen+periodLen, K full
+		// periods fit in the remaining span, and the partial tail is
+		// apportioned pro rata (the only approximate fields — callers
+		// that need exact tail counters set ExactCycleLoop).
+		span := N - pStart
+		K := span / pLen // ≥ 3 by the detector's arming condition
+		rem := span % pLen
+		ext := func(ref, per uint64) uint64 { return ref + per*(K-1) + per*rem/pLen }
+		m.Retired = ext(tr.refRetired, tr.perRetired)
+		m.Branches = ext(tr.refStats.Branches, tr.perStats.Branches)
+		m.Mispredicts = ext(tr.refStats.Mispredicts, tr.perStats.Mispredicts)
+		m.L1Hits = ext(tr.refStats.L1Hits, tr.perStats.L1Hits)
+		m.L1Misses = ext(tr.refStats.L1Misses, tr.perStats.L1Misses)
+		m.L2Hits = ext(tr.refStats.L2Hits, tr.perStats.L2Hits)
+		m.L2Misses = ext(tr.refStats.L2Misses, tr.perStats.L2Misses)
+		m.L3Hits = ext(tr.refStats.L3Hits, tr.perStats.L3Hits)
+		m.L3Misses = ext(tr.refStats.L3Misses, tr.perStats.L3Misses)
+	} else {
+		m.Retired = tr.endRetired
+		st := tr.endStats
+		m.Branches, m.Mispredicts = st.Branches, st.Mispredicts
+		m.L1Hits, m.L1Misses = st.L1Hits, st.L1Misses
+		m.L2Hits, m.L2Misses = st.L2Hits, st.L2Misses
+		m.L3Hits, m.L3Misses = st.L3Hits, st.L3Misses
+	}
+	if nV > 0 {
+		m.MeanV = sumV / float64(nV)
+	}
+	if m.Cycles > 0 {
+		m.AvgPowerW = m.EnergyPJ*1e-12/(float64(m.Cycles)*dt) + p.Power.LeakageWattsPerModule*float64(p.Chip.Modules)
+	}
+	if sc != nil {
+		w := sc.Waveform()
+		m.Waveform = append([]float64(nil), w...)
+		cp.scopeBufs.Put(w[:0])
+	}
+	if trig != nil {
+		m.DroopEvents = trig.EventCount()
+	}
+	cp.vbufs.Put(vbuf[:0])
+	cp.net.Put(net)
+	return m, nil
+}

@@ -105,6 +105,38 @@ type RunConfig struct {
 	Histogram *scope.Histogram
 	// TriggerThreshold, when positive, counts droop events below it.
 	TriggerThreshold float64
+	// ExactCycleLoop forces the reference per-cycle measurement loop on
+	// CompiledPlatform, bypassing the trace-replay fast path and its
+	// periodic-steady-state early exits. The exact loop is also taken
+	// automatically when OS != nil (host-OS interference is aperiodic),
+	// when MaxCycles is 0 or too large to buffer a trace, and for cycle
+	// counters that the periodic extrapolation only approximates.
+	ExactCycleLoop bool
+}
+
+// Validate checks a run configuration before any simulation state is
+// built or drawn from pools. Platform.Run and CompiledPlatform.Run call
+// it on entry, so a bad config (no threads, nil program, zero dither
+// period) fails fast instead of surfacing mid-measurement; the trace
+// cache key builder relies on the same invariants.
+func (rc RunConfig) Validate() error {
+	if len(rc.Threads) == 0 {
+		return fmt.Errorf("testbed: no threads to run")
+	}
+	for i, ts := range rc.Threads {
+		if ts.Program == nil {
+			return fmt.Errorf("testbed: thread %d has no program", i)
+		}
+		if ts.Module < 0 || ts.Core < 0 {
+			return fmt.Errorf("testbed: thread %d placement (%d,%d) negative", i, ts.Module, ts.Core)
+		}
+	}
+	for _, d := range rc.Dither {
+		if d.PeriodCycles == 0 {
+			return fmt.Errorf("testbed: dither period must be positive")
+		}
+	}
+	return nil
 }
 
 // Measurement is what one run produced.
@@ -162,8 +194,8 @@ func (p Platform) Nominal() float64 { return p.PDN.VNom }
 // platform and use CompiledPlatform.Run, which produces bit-identical
 // measurements from pooled state.
 func (p Platform) Run(rc RunConfig) (*Measurement, error) {
-	if len(rc.Threads) == 0 {
-		return nil, fmt.Errorf("testbed: no threads to run")
+	if err := rc.Validate(); err != nil {
+		return nil, err
 	}
 	chip, err := cpu.NewChip(p.Chip, p.Power)
 	if err != nil {
@@ -259,11 +291,10 @@ func (p Platform) measure(chip *cpu.Chip, net *pdn.PDN, rc RunConfig, supply flo
 	var sumV float64
 	var nV uint64
 
+	// Dither periods were validated by RunConfig.Validate before any
+	// pooled state was grabbed.
 	nextPad := make([]uint64, len(rc.Dither))
 	for i, d := range rc.Dither {
-		if d.PeriodCycles == 0 {
-			return nil, fmt.Errorf("testbed: dither period must be positive")
-		}
 		nextPad[i] = d.PeriodCycles
 	}
 

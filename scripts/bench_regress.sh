@@ -13,9 +13,9 @@ cd "$(dirname "$0")/.."
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEvalColdVsCompiled|BenchmarkGARunMemoized' \
+go test -run '^$' -bench 'BenchmarkEvalColdVsCompiled|BenchmarkGARunMemoized|BenchmarkMeasureExactVsReplay|BenchmarkMedianOfKReplay|BenchmarkStepTrace' \
   -benchmem -benchtime "${BENCHTIME:-2s}" -count=1 \
-  ./internal/testbed/ ./internal/core/ | tee "$out"
+  ./internal/testbed/ ./internal/core/ ./internal/pdn/ | tee "$out"
 
 if [ "${1:-}" = "--capture" ]; then
   go run ./cmd/benchdiff -capture BENCH_eval.json \

@@ -59,6 +59,12 @@ type (
 	// Runner is anything that can execute a measurement run — a
 	// Platform, a CompiledPlatform, or a FaultInjector wrapping either.
 	Runner = testbed.Runner
+	// BatchRunner is a Runner that can evaluate a whole generation of
+	// run configs through the two-stage batch pipeline (shared trace
+	// captures, multi-lane replay). CompiledPlatform implements it.
+	BatchRunner = testbed.BatchRunner
+	// TraceStats snapshots the trace-cache and batch-pipeline counters.
+	TraceStats = testbed.TraceStats
 
 	// FaultConfig describes a lab-fault model (rates and amplitudes).
 	FaultConfig = faults.Config

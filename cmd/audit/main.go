@@ -23,6 +23,8 @@
 //	-resume     continue from a -checkpoint or -save file
 //	-faults     inject lab faults at this transient rate (0 = off)
 //	-exact      force the reference per-cycle measurement loop
+//	-batch-lanes    replay lanes per batched generation (0 = default, <0 off)
+//	-trace-cache-mb trace cache budget in MiB (0 = default 128)
 //	-cpuprofile write a pprof CPU profile of the search to this file
 //	-pprof      serve net/http/pprof on this address (e.g. :6060)
 //
@@ -45,6 +47,7 @@ import (
 	"os/signal"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"repro/audit"
 	"repro/internal/report"
@@ -61,6 +64,8 @@ type cliOptions struct {
 	faultRate              float64
 	hetero                 bool
 	exact                  bool
+	batchLanes             int
+	traceCacheMB           int
 	cpuProfile, pprofAddr  string
 }
 
@@ -83,6 +88,8 @@ func main() {
 	flag.Float64Var(&c.faultRate, "faults", 0, "inject lab faults at this transient rate (0 = off)")
 	flag.BoolVar(&c.hetero, "hetero", false, "give each thread its own genome (resonance mode only)")
 	flag.BoolVar(&c.exact, "exact", false, "force the reference per-cycle measurement loop (disable trace replay)")
+	flag.IntVar(&c.batchLanes, "batch-lanes", 0, "replay lanes per batched generation (0 = default, negative disables batching)")
+	flag.IntVar(&c.traceCacheMB, "trace-cache-mb", 0, "trace cache budget in MiB (0 = default 128)")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the search to this file")
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -157,14 +164,16 @@ func run(ctx context.Context, c cliOptions) error {
 	}
 
 	opts := audit.Options{
-		Platform:       plat,
-		Threads:        c.threads,
-		Mode:           m,
-		LoopCycles:     c.loop,
-		SubBlockCycles: c.subblock,
-		FPThrottle:     c.throttle,
-		CheckpointPath: c.checkpoint,
-		ExactEval:      c.exact,
+		Platform:        plat,
+		Threads:         c.threads,
+		Mode:            m,
+		LoopCycles:      c.loop,
+		SubBlockCycles:  c.subblock,
+		FPThrottle:      c.throttle,
+		CheckpointPath:  c.checkpoint,
+		ExactEval:       c.exact,
+		BatchLanes:      c.batchLanes,
+		TraceCacheBytes: c.traceCacheMB << 20,
 		GA: audit.GAConfig{
 			PopSize: c.pop, Elites: 2, TournamentK: 3,
 			MutationProb: 0.6, MaxGenerations: c.gens, StagnantLimit: 6,
@@ -210,10 +219,12 @@ func run(ctx context.Context, c cliOptions) error {
 
 	fmt.Printf("generating %s stressmark for %s (%dT, throttle=%d)...\n",
 		c.mode, plat.Chip.Name, c.threads, c.throttle)
+	start := time.Now()
 	sm, err := audit.GenerateContext(ctx, opts)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 
 	if len(sm.SweepPoints) > 0 {
 		tbl := &report.Table{Title: "resonance sweep", Headers: []string{"loop (cyc)", "freq (MHz)", "droop (mV)"}}
@@ -230,6 +241,8 @@ func run(ctx context.Context, c cliOptions) error {
 			hits, misses, 100*float64(hits)/float64(hits+misses))
 	}
 	fmt.Println()
+	printThroughput(sm.Search.Evaluations, elapsed,
+		sm.Search.CacheHits, sm.Search.CacheMisses, sm.TraceStats)
 	printResilience(sm.Search.Retries, sm.Search.TimedOut, sm.Search.Degraded, injector)
 	fmt.Println(report.BarChart("best droop by generation (mV)",
 		genLabels(len(sm.Search.History)), scale(sm.Search.History, 1e3), 40))
@@ -271,15 +284,19 @@ func runHetero(ctx context.Context, c cliOptions, plat audit.Platform, opts audi
 	}
 	fmt.Printf("generating heterogeneous %s stressmark for %s (%dT)...\n",
 		c.mode, plat.Chip.Name, c.threads)
+	start := time.Now()
 	hsm, err := audit.GenerateHeteroContext(ctx, opts)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("GA: %d evaluations", hsm.Search.Evaluations)
 	if hits, misses := hsm.Search.CacheHits, hsm.Search.CacheMisses; hits+misses > 0 {
 		fmt.Printf(" (fitness cache: %d hits / %d misses)", hits, misses)
 	}
 	fmt.Println()
+	printThroughput(hsm.Search.Evaluations, elapsed,
+		hsm.Search.CacheHits, hsm.Search.CacheMisses, hsm.TraceStats)
 	if s := stats(); s != nil {
 		printResilienceStats(hsm.Search.Retries, hsm.Search.TimedOut, hsm.Search.Degraded, s)
 	}
@@ -348,6 +365,29 @@ func injectorStats(in **audit.FaultInjector) func() *audit.FaultStats {
 		s := (*in).Stats()
 		return &s
 	}
+}
+
+// printThroughput summarises the evaluation pipeline: how fast the
+// search scored candidates and how much work the memo, the trace
+// cache, and the multi-lane replay kernels absorbed. It goes to
+// stderr: stdout stays byte-identical across same-seed runs (the
+// repo's determinism guarantee), and wall-clock timing is not.
+func printThroughput(evals int, elapsed time.Duration, hits, misses int, ts audit.TraceStats) {
+	if evals == 0 || elapsed <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "throughput: %.1f evals/sec over %s", float64(evals)/elapsed.Seconds(),
+		elapsed.Round(time.Millisecond))
+	if tot := hits + misses; tot > 0 {
+		fmt.Fprintf(os.Stderr, ", memo hit rate %.0f%%", 100*float64(hits)/float64(tot))
+	}
+	if tot := ts.Hits + ts.Misses; tot > 0 {
+		fmt.Fprintf(os.Stderr, ", trace-cache hit rate %.0f%%", 100*float64(ts.Hits)/float64(tot))
+	}
+	if ts.LaneBatches > 0 {
+		fmt.Fprintf(os.Stderr, ", lane occupancy %.1f", float64(ts.LaneRuns)/float64(ts.LaneBatches))
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func printResilience(retries, timedOut, degraded int, in *audit.FaultInjector) {

@@ -87,6 +87,111 @@ func (f *luReal) solve(b, x []float64) {
 	}
 }
 
+// solveBatch solves LUx = Pb for L right-hand sides held lane-minor
+// (b[i*L + l] is row i of lane l), writing x in the same layout. Per
+// lane the floating-point operation sequence is exactly solve's —
+// row-oriented substitution, j ascending, one final division — so
+// every lane's solution is bit-identical to a serial solve. Lanes are
+// tiled into register blocks of 8 and 4 whose accumulators live
+// across a row's whole coefficient sweep: each lu[i,j] is loaded once
+// per block instead of once per lane, and the block's independent
+// multiply-subtract chains keep the FP units busy where the serial
+// solve's single chain stalls on latency. That blocking — not thread
+// parallelism — is the multi-lane replay kernel's speedup.
+func (f *luReal) solveBatch(b, x []float64, L int) {
+	n := f.n
+	lu := f.lu
+	for i := 0; i < n; i++ {
+		copy(x[i*L:i*L+L], b[f.perm[i]*L:f.perm[i]*L+L])
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		row := lu[i*n : i*n+i]
+		l := 0
+		for ; l+8 <= L; l += 8 {
+			o := i*L + l
+			s0, s1, s2, s3 := x[o], x[o+1], x[o+2], x[o+3]
+			s4, s5, s6, s7 := x[o+4], x[o+5], x[o+6], x[o+7]
+			for j, m := range row {
+				xq := x[j*L+l : j*L+l+8 : j*L+l+8]
+				s0 -= m * xq[0]
+				s1 -= m * xq[1]
+				s2 -= m * xq[2]
+				s3 -= m * xq[3]
+				s4 -= m * xq[4]
+				s5 -= m * xq[5]
+				s6 -= m * xq[6]
+				s7 -= m * xq[7]
+			}
+			x[o], x[o+1], x[o+2], x[o+3] = s0, s1, s2, s3
+			x[o+4], x[o+5], x[o+6], x[o+7] = s4, s5, s6, s7
+		}
+		for ; l+4 <= L; l += 4 {
+			o := i*L + l
+			s0, s1, s2, s3 := x[o], x[o+1], x[o+2], x[o+3]
+			for j, m := range row {
+				xq := x[j*L+l : j*L+l+4 : j*L+l+4]
+				s0 -= m * xq[0]
+				s1 -= m * xq[1]
+				s2 -= m * xq[2]
+				s3 -= m * xq[3]
+			}
+			x[o], x[o+1], x[o+2], x[o+3] = s0, s1, s2, s3
+		}
+		for ; l < L; l++ {
+			s := x[i*L+l]
+			for j, m := range row {
+				s -= m * x[j*L+l]
+			}
+			x[i*L+l] = s
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := lu[i*n+i+1 : i*n+n]
+		d := lu[i*n+i]
+		base := (i + 1) * L
+		l := 0
+		for ; l+8 <= L; l += 8 {
+			o := i*L + l
+			s0, s1, s2, s3 := x[o], x[o+1], x[o+2], x[o+3]
+			s4, s5, s6, s7 := x[o+4], x[o+5], x[o+6], x[o+7]
+			for j, m := range row {
+				xq := x[base+j*L+l : base+j*L+l+8 : base+j*L+l+8]
+				s0 -= m * xq[0]
+				s1 -= m * xq[1]
+				s2 -= m * xq[2]
+				s3 -= m * xq[3]
+				s4 -= m * xq[4]
+				s5 -= m * xq[5]
+				s6 -= m * xq[6]
+				s7 -= m * xq[7]
+			}
+			x[o], x[o+1], x[o+2], x[o+3] = s0/d, s1/d, s2/d, s3/d
+			x[o+4], x[o+5], x[o+6], x[o+7] = s4/d, s5/d, s6/d, s7/d
+		}
+		for ; l+4 <= L; l += 4 {
+			o := i*L + l
+			s0, s1, s2, s3 := x[o], x[o+1], x[o+2], x[o+3]
+			for j, m := range row {
+				xq := x[base+j*L+l : base+j*L+l+4 : base+j*L+l+4]
+				s0 -= m * xq[0]
+				s1 -= m * xq[1]
+				s2 -= m * xq[2]
+				s3 -= m * xq[3]
+			}
+			x[o], x[o+1], x[o+2], x[o+3] = s0/d, s1/d, s2/d, s3/d
+		}
+		for ; l < L; l++ {
+			s := x[i*L+l]
+			for j, m := range row {
+				s -= m * x[base+j*L+l]
+			}
+			x[i*L+l] = s / d
+		}
+	}
+}
+
 // solveComplex solves a dense complex system Ax=b in place with partial
 // pivoting (Gaussian elimination). AC sweeps factor a fresh matrix per
 // frequency point, so no reusable factorisation is kept.

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+// TestGenerateBatchedMatchesPerCandidate: the generation-batched
+// pipeline (default) and the per-candidate path (BatchLanes < 0) must
+// produce identical searches — same droop, same winning genome, same
+// trajectory and evaluation accounting — across lane widths and worker
+// counts. Run under -race in CI.
+func TestGenerateBatchedMatchesPerCandidate(t *testing.T) {
+	p := testbed.Bulldozer()
+	gen := func(lanes, workers int) *Stressmark {
+		cfg := smallGA(11)
+		cfg.Parallel = workers
+		sm, err := Generate(context.Background(), Options{
+			Platform:      p,
+			LoopCycles:    36,
+			GA:            cfg,
+			MeasureCycles: 2000,
+			WarmupCycles:  1200,
+			Seed:          11,
+			BatchLanes:    lanes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	want := gen(-1, 0) // per-candidate reference
+	for _, lanes := range []int{0, 1, 2, 4, 8} {
+		for _, workers := range []int{0, 4} {
+			got := gen(lanes, workers)
+			if got.DroopV != want.DroopV {
+				t.Errorf("lanes=%d workers=%d: droop %v != %v", lanes, workers, got.DroopV, want.DroopV)
+			}
+			if !reflect.DeepEqual(got.Genome, want.Genome) {
+				t.Errorf("lanes=%d workers=%d: winning genome diverged", lanes, workers)
+			}
+			if !reflect.DeepEqual(got.Search.History, want.Search.History) {
+				t.Errorf("lanes=%d workers=%d: history diverged:\n got %v\nwant %v",
+					lanes, workers, got.Search.History, want.Search.History)
+			}
+			if got.Search.Evaluations != want.Search.Evaluations ||
+				got.Search.CacheHits != want.Search.CacheHits {
+				t.Errorf("lanes=%d workers=%d: accounting diverged: evals %d/%d hits %d/%d",
+					lanes, workers, got.Search.Evaluations, want.Search.Evaluations,
+					got.Search.CacheHits, want.Search.CacheHits)
+			}
+			if lanes >= 0 && got.TraceStats.BatchRuns == 0 {
+				t.Errorf("lanes=%d workers=%d: batch pipeline never engaged", lanes, workers)
+			}
+		}
+	}
+	if want.TraceStats.BatchRuns != 0 {
+		t.Errorf("BatchLanes<0 still entered the batch pipeline (%d runs)", want.TraceStats.BatchRuns)
+	}
+}
+
+// TestGenerateHeteroBatchedMatches: same property for heterogeneous
+// generation.
+func TestGenerateHeteroBatchedMatches(t *testing.T) {
+	p := testbed.Bulldozer()
+	gen := func(lanes int) *HeteroStressmark {
+		cfg := smallGA(5)
+		cfg.Parallel = 4
+		sm, err := GenerateHetero(context.Background(), Options{
+			Platform:      p,
+			LoopCycles:    36,
+			Threads:       2,
+			GA:            cfg,
+			MeasureCycles: 2000,
+			WarmupCycles:  1200,
+			Seed:          5,
+			BatchLanes:    lanes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	want := gen(-1)
+	got := gen(0)
+	if got.DroopV != want.DroopV || !reflect.DeepEqual(got.Genome, want.Genome) {
+		t.Error("hetero batched search diverged from per-candidate")
+	}
+	if !reflect.DeepEqual(got.Search.History, want.Search.History) {
+		t.Errorf("hetero history diverged:\n got %v\nwant %v", got.Search.History, want.Search.History)
+	}
+	if got.TraceStats.BatchRuns == 0 {
+		t.Error("hetero batch pipeline never engaged")
+	}
+}

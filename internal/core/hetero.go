@@ -54,6 +54,9 @@ type HeteroStressmark struct {
 	DroopV   float64
 	Genome   HeteroGenome
 	Search   *ga.Result[HeteroGenome]
+	// TraceStats snapshots the compiled platform's trace-cache and
+	// batch-pipeline counters at the end of the search.
+	TraceStats testbed.TraceStats
 }
 
 // GenerateHetero runs the AUDIT flow with an independent genome per
@@ -120,31 +123,41 @@ func GenerateHetero(ctx context.Context, opt Options) (*HeteroStressmark, error)
 	if err != nil {
 		return nil, err
 	}
+	if opt.TraceCacheBytes > 0 {
+		cp.SetTraceCacheLimit(opt.TraceCacheBytes)
+	}
 	var runner testbed.Runner = cp
 	if opt.WrapRunner != nil {
 		if runner = opt.WrapRunner(cp); runner == nil {
 			return nil, fmt.Errorf("core: WrapRunner returned nil")
 		}
 	}
-	eval := func(h HeteroGenome) (float64, error) {
+	makeRC := func(h HeteroGenome) (testbed.RunConfig, error) {
 		progs, err := build(h)
 		if err != nil {
-			return 0, err
+			return testbed.RunConfig{}, err
 		}
 		specs, err := testbed.SpreadPlacement(opt.Platform.Chip, progs[0], opt.Threads)
 		if err != nil {
-			return 0, err
+			return testbed.RunConfig{}, err
 		}
 		for i := range specs {
 			specs[i].Program = progs[i]
 		}
-		m, err := runner.Run(testbed.RunConfig{
+		return testbed.RunConfig{
 			Threads:        specs,
 			MaxCycles:      opt.WarmupCycles + opt.MeasureCycles,
 			WarmupCycles:   opt.WarmupCycles,
 			FPThrottle:     opt.FPThrottle,
 			ExactCycleLoop: opt.ExactEval,
-		})
+		}, nil
+	}
+	eval := func(h HeteroGenome) (float64, error) {
+		rc, err := makeRC(h)
+		if err != nil {
+			return 0, err
+		}
+		m, err := runner.Run(rc)
 		if err != nil {
 			return 0, err
 		}
@@ -174,7 +187,8 @@ func GenerateHetero(ctx context.Context, opt Options) (*HeteroStressmark, error)
 			out.PerThread[i] = cg.Mutate(rng, out.PerThread[i])
 			return out
 		},
-		Fingerprint: HeteroGenome.Fingerprint,
+		Fingerprint:    HeteroGenome.Fingerprint,
+		EvalGeneration: batchEval(runner, opt, makeRC),
 	}
 
 	// Seeds. When sibling threads share a front end, decode alternates
@@ -232,12 +246,13 @@ func GenerateHetero(ctx context.Context, opt Options) (*HeteroStressmark, error)
 		return nil, err
 	}
 	return &HeteroStressmark{
-		Name:     opt.Name,
-		Programs: progs,
-		Threads:  opt.Threads,
-		DroopV:   res.BestFitness,
-		Genome:   res.Best,
-		Search:   res,
+		Name:       opt.Name,
+		Programs:   progs,
+		Threads:    opt.Threads,
+		DroopV:     res.BestFitness,
+		Genome:     res.Best,
+		Search:     res,
+		TraceStats: cp.TraceStats(),
 	}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +39,17 @@ type Ops[G any] struct {
 	// instead of re-running the simulator, so duplicates produced by
 	// crossover/mutation across generations cost zero evaluations.
 	Fingerprint func(G) string
+	// EvalGeneration, when non-nil, scores a whole generation in one
+	// call instead of fanning the per-genome eval across workers; the
+	// testbed's generation-batched pipeline (capture sharing, multi-lane
+	// replay) plugs in here. It must return slot-aligned fitnesses and
+	// errors with EvalGeneration(gs)[i] ≡ eval(gs[i]) — the per-genome
+	// eval is still required and still runs the retry/repeat policy:
+	// the batch call provides each candidate's first attempt, and
+	// candidates that need more (transient failures to retry, Repeats-1
+	// further samples) finish through the serial path. EvalTimeout
+	// cannot bound the monolithic batch call, only those follow-ups.
+	EvalGeneration func(gs []G) ([]float64, []error)
 }
 
 // Config controls the search.
@@ -211,18 +223,27 @@ func RunCheckpointed[G any](ctx context.Context, cfg Config, ops Ops[G], seeds [
 	}
 	ev := newEvaluator(cfg, eval)
 	rEval := func(g G) (float64, error) { return ev.evaluate(ctx, g) }
+	// scoreUniq evaluates one deduplicated batch: through the
+	// generation-level evaluator when the genome supplies one, else by
+	// fanning the per-genome eval across the worker pool.
+	scoreUniq := func(gs []G) ([]float64, error) {
+		if ops.EvalGeneration != nil {
+			return ev.evalGeneration(ctx, gs, ops.EvalGeneration, cfg.Parallel)
+		}
+		return evalBatch(ctx, gs, rEval, cfg.Parallel)
+	}
 	// score runs one batch through the cache (when enabled) and the
-	// worker pool, accounting evaluations and cache traffic.
+	// batch scorer, accounting evaluations and cache traffic.
 	score := func(gs []G) ([]float64, error) {
 		if fp == nil {
-			fits, err := evalBatch(ctx, gs, rEval, cfg.Parallel)
+			fits, err := scoreUniq(gs)
 			if err != nil {
 				return nil, err
 			}
 			res.Evaluations += len(gs)
 			return fits, nil
 		}
-		fits, hits, misses, err := evalMemo(ctx, gs, fp, cache, rEval, cfg.Parallel)
+		fits, hits, misses, err := evalMemo(gs, fp, cache, scoreUniq)
 		if err != nil {
 			return nil, err
 		}
@@ -326,11 +347,12 @@ func RunCheckpointed[G any](ctx context.Context, cfg Config, ops Ops[G], seeds [
 // evalMemo scores a batch through the fitness cache: genomes scored in
 // an earlier generation (matched by fingerprint) reuse their score,
 // duplicates within the batch are evaluated once, and only unique
-// misses reach eval. All lookups and dedup happen on the calling
-// goroutine before any fan-out, and the cache is written only after the
-// batch completes, so parallel runs are race-free and bit-identical to
-// serial ones: the same set of genomes is simulated either way.
-func evalMemo[G any](ctx context.Context, gs []G, fp func(G) string, cache map[string]float64, eval func(G) (float64, error), workers int) (fits []float64, hits, misses int, err error) {
+// misses reach the batch scorer. All lookups and dedup happen on the
+// calling goroutine before any fan-out, and the cache is written only
+// after the batch completes, so parallel runs are race-free and
+// bit-identical to serial ones: the same set of genomes is simulated
+// either way.
+func evalMemo[G any](gs []G, fp func(G) string, cache map[string]float64, scoreUniq func([]G) ([]float64, error)) (fits []float64, hits, misses int, err error) {
 	fits = make([]float64, len(gs))
 	keys := make([]string, len(gs))
 	rep := make(map[string]int, len(gs)) // key → first occurrence in batch
@@ -354,7 +376,7 @@ func evalMemo[G any](ctx context.Context, gs []G, fp func(G) string, cache map[s
 		uniq = append(uniq, g)
 		uniqIdx = append(uniqIdx, i)
 	}
-	ufits, err := evalBatch(ctx, uniq, eval, workers)
+	ufits, err := scoreUniq(uniq)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -372,13 +394,24 @@ func evalMemo[G any](ctx context.Context, gs []G, fp func(G) string, cache map[s
 // parallelism is enabled. The first error aborts the batch; a
 // cancelled context stops the workers promptly.
 func evalBatch[G any](ctx context.Context, gs []G, eval func(G) (float64, error), workers int) ([]float64, error) {
-	fits := make([]float64, len(gs))
-	if workers <= 1 || len(gs) < 2 {
-		for i, g := range gs {
+	return evalIndexed(ctx, len(gs), func(i int) (float64, error) { return eval(gs[i]) }, workers)
+}
+
+// evalIndexed runs eval(0..n-1) across workers and collects the
+// results. The batch stops dispatching as soon as it is doomed: every
+// worker checks the context and the shared stop flag after claiming an
+// index and before evaluating, and the feeder stops handing out work,
+// so after the first failure (or cancellation) only evaluations already
+// in flight keep running — a long simulation is never *started* for a
+// batch whose result will be discarded.
+func evalIndexed(ctx context.Context, n int, eval func(int) (float64, error), workers int) ([]float64, error) {
+	fits := make([]float64, n)
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			fit, err := eval(g)
+			fit, err := eval(i)
 			if err != nil {
 				return nil, err
 			}
@@ -386,13 +419,14 @@ func evalBatch[G any](ctx context.Context, gs []G, eval func(G) (float64, error)
 		}
 		return fits, nil
 	}
-	if workers > len(gs) {
-		workers = len(gs)
+	if workers > n {
+		workers = n
 	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		stop     atomic.Bool
 	)
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -400,11 +434,12 @@ func evalBatch[G any](ctx context.Context, gs []G, eval func(G) (float64, error)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if ctx.Err() != nil {
+				if stop.Load() || ctx.Err() != nil {
 					continue
 				}
-				fit, err := eval(gs[i])
+				fit, err := eval(i)
 				if err != nil {
+					stop.Store(true)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -417,7 +452,10 @@ func evalBatch[G any](ctx context.Context, gs []G, eval func(G) (float64, error)
 		}()
 	}
 feed:
-	for i := range gs {
+	for i := 0; i < n; i++ {
+		if stop.Load() {
+			break
+		}
 		select {
 		case idx <- i:
 		case <-ctx.Done():

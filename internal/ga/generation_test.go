@@ -1,0 +1,205 @@
+package ga
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEvalIndexedStopsDispatchAfterError: once a worker fails, the
+// batch is doomed — no new evaluations may be dispatched beyond those
+// already claimed by the workers.
+func TestEvalIndexedStopsDispatchAfterError(t *testing.T) {
+	const n, workers = 100, 4
+	var dispatched, afterErr atomic.Int64
+	var errored atomic.Bool
+	eval := func(i int) (float64, error) {
+		dispatched.Add(1)
+		if errored.Load() {
+			afterErr.Add(1)
+		}
+		if i == 0 {
+			errored.Store(true)
+			return 0, errors.New("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return float64(i), nil
+	}
+	if _, err := evalIndexed(context.Background(), n, eval, workers); err == nil {
+		t.Fatal("batch with a failing evaluation returned nil error")
+	}
+	if got := afterErr.Load(); got > workers {
+		t.Errorf("%d evaluations dispatched after the first error (in-flight bound is %d)", got, workers)
+	}
+	if got := dispatched.Load(); got > n/2 {
+		t.Errorf("%d/%d evaluations dispatched for a batch that failed immediately", got, n)
+	}
+}
+
+// TestEvalIndexedStopsDispatchAfterCancel: context cancellation must
+// stop dispatch just as promptly as an error.
+func TestEvalIndexedStopsDispatchAfterCancel(t *testing.T) {
+	const n, workers = 100, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var afterCancel atomic.Int64
+	var cancelled atomic.Bool
+	eval := func(i int) (float64, error) {
+		if cancelled.Load() {
+			afterCancel.Add(1)
+		}
+		if i == 0 {
+			cancelled.Store(true)
+			cancel()
+			return 0, ctx.Err()
+		}
+		time.Sleep(time.Millisecond)
+		return float64(i), nil
+	}
+	if _, err := evalIndexed(ctx, n, eval, workers); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := afterCancel.Load(); got > workers {
+		t.Errorf("%d evaluations dispatched after cancellation (in-flight bound is %d)", got, workers)
+	}
+}
+
+// generationOps wires a batch evaluator that maps the per-genome eval
+// over the slate, optionally injecting per-slot errors.
+func generationOps(n int, inject func(bits) error) Ops[bits] {
+	ops := memoOps(n)
+	ops.EvalGeneration = func(gs []bits) ([]float64, []error) {
+		fits := make([]float64, len(gs))
+		errs := make([]error, len(gs))
+		for i, g := range gs {
+			if inject != nil {
+				if err := inject(g); err != nil {
+					errs[i] = err
+					continue
+				}
+			}
+			fits[i], errs[i] = onemax(g)
+		}
+		return fits, errs
+	}
+	return ops
+}
+
+// runPair runs the same configured search with and without the
+// generation-level evaluator and returns both results.
+func runPair(t *testing.T, cfg Config, inject func(bits) error, eval func(bits) (float64, error)) (gen, serial *Result[bits]) {
+	t.Helper()
+	const n = 24
+	gen, err := Run(context.Background(), cfg, generationOps(n, inject), nil, eval)
+	if err != nil {
+		t.Fatalf("generation-batched run: %v", err)
+	}
+	serial, err = Run(context.Background(), cfg, memoOps(n), nil, eval)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	return gen, serial
+}
+
+// TestEvalGenerationMatchesPerCandidate: with a consistent batch
+// evaluator the search must be indistinguishable from the per-candidate
+// path — same best, same trajectory, same evaluation accounting — for
+// serial and parallel pools alike.
+func TestEvalGenerationMatchesPerCandidate(t *testing.T) {
+	for _, workers := range []int{0, 8} {
+		cfg := defaultCfg()
+		cfg.MaxGenerations = 12
+		cfg.Parallel = workers
+		gen, serial := runPair(t, cfg, nil, func(g bits) (float64, error) { return onemax(g) })
+		if !reflect.DeepEqual(gen, serial) {
+			t.Errorf("parallel=%d: batched result differs from per-candidate:\n got %+v\nwant %+v", workers, gen, serial)
+		}
+	}
+}
+
+// TestEvalGenerationRepeatsMatch: Repeats-1 follow-up samples run
+// through the serial path; with a deterministic simulator the centre is
+// identical to the all-serial run.
+func TestEvalGenerationRepeatsMatch(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 6
+	cfg.Repeats = 3
+	cfg.Parallel = 4
+	gen, serial := runPair(t, cfg, nil, func(g bits) (float64, error) { return onemax(g) })
+	if !reflect.DeepEqual(gen, serial) {
+		t.Errorf("Repeats=3: batched result differs from per-candidate:\n got %+v\nwant %+v", gen, serial)
+	}
+}
+
+// TestEvalGenerationRetriesBatchFailures: a transient batch-side
+// failure must fall back to the per-genome eval under the retry policy
+// and still converge to the serial result (modulo the retry counter).
+func TestEvalGenerationRetriesBatchFailures(t *testing.T) {
+	withFakeClock(t)
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 6
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = time.Millisecond
+	inject := func(g bits) error {
+		if g[0] { // flaky slot: every batch attempt on these fails
+			return &flakyErr{"batch lane fault"}
+		}
+		return nil
+	}
+	gen, serial := runPair(t, cfg, inject, func(g bits) (float64, error) { return onemax(g) })
+	if gen.Retries == 0 {
+		t.Error("no retries recorded despite injected batch faults")
+	}
+	gen.Retries, serial.Retries = 0, 0
+	if !reflect.DeepEqual(gen, serial) {
+		t.Errorf("retried batch run diverged from serial:\n got %+v\nwant %+v", gen, serial)
+	}
+}
+
+// TestEvalGenerationDegradesPermanentFailures: a permanent failure on
+// both paths degrades the candidate identically instead of aborting.
+func TestEvalGenerationDegradesPermanentFailures(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 4
+	cfg.DegradeFailures = true
+	cfg.WorstFitness = -1e9
+	permanent := errors.New("permanent measurement fault")
+	bad := func(g bits) bool { return g[0] && g[1] }
+	inject := func(g bits) error {
+		if bad(g) {
+			return permanent
+		}
+		return nil
+	}
+	eval := func(g bits) (float64, error) {
+		if bad(g) {
+			return 0, permanent
+		}
+		return onemax(g)
+	}
+	gen, serial := runPair(t, cfg, inject, eval)
+	if gen.Degraded == 0 {
+		t.Error("no degradations recorded despite permanent faults")
+	}
+	if !reflect.DeepEqual(gen, serial) {
+		t.Errorf("degraded batch run diverged from serial:\n got %+v\nwant %+v", gen, serial)
+	}
+}
+
+// TestEvalGenerationShapeError: a batch evaluator that violates the
+// slot-alignment contract must abort the search with a clear error.
+func TestEvalGenerationShapeError(t *testing.T) {
+	const n = 24
+	ops := memoOps(n)
+	ops.EvalGeneration = func(gs []bits) ([]float64, []error) {
+		return make([]float64, len(gs)-1), make([]error, len(gs))
+	}
+	cfg := defaultCfg()
+	cfg.MaxGenerations = 2
+	if _, err := Run(context.Background(), cfg, ops, nil, func(g bits) (float64, error) { return onemax(g) }); err == nil {
+		t.Fatal("misaligned generation evaluator did not abort the run")
+	}
+}

@@ -125,13 +125,21 @@ func (e *evaluator[G]) fail(ctx context.Context, err error) (float64, error) {
 
 // attempt runs one measurement with retry/backoff on transient faults.
 func (e *evaluator[G]) attempt(ctx context.Context, g G) (float64, error) {
+	fit, err := e.call(ctx, g)
+	return e.retryLoop(ctx, g, fit, err)
+}
+
+// retryLoop applies the retry/backoff policy to a first measurement
+// outcome, re-running the per-genome eval on transient failures. The
+// first outcome may come from e.call or from a generation-level batch —
+// the policy is identical either way.
+func (e *evaluator[G]) retryLoop(ctx context.Context, g G, fit float64, err error) (float64, error) {
 	backoff := e.cfg.RetryBackoff
 	maxBackoff := e.cfg.RetryBackoffCap
 	if maxBackoff <= 0 {
 		maxBackoff = time.Second
 	}
 	for try := 0; ; try++ {
-		fit, err := e.call(ctx, g)
 		if err == nil {
 			return fit, nil
 		}
@@ -144,13 +152,82 @@ func (e *evaluator[G]) attempt(ctx context.Context, g G) (float64, error) {
 		e.mu.Lock()
 		e.retries++
 		e.mu.Unlock()
-		if err := sleepFn(ctx, backoff); err != nil {
-			return 0, err
+		if serr := sleepFn(ctx, backoff); serr != nil {
+			return 0, serr
 		}
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
 		}
+		fit, err = e.call(ctx, g)
 	}
+}
+
+// finish resolves one candidate whose first measurement came from a
+// generation-level batch: retry a failed first attempt under the
+// serial policy, take Repeats-1 further samples when repeated
+// measurement is on, and degrade or propagate exhausted failures —
+// exactly evaluate() with the batch outcome standing in for the first
+// call.
+func (e *evaluator[G]) finish(ctx context.Context, g G, fit float64, err error) (float64, error) {
+	fit, err = e.retryLoop(ctx, g, fit, err)
+	if err != nil {
+		return e.fail(ctx, err)
+	}
+	k := e.cfg.Repeats
+	if k <= 1 {
+		return fit, nil
+	}
+	samples := make([]float64, 0, k)
+	samples = append(samples, fit)
+	for rep := 1; rep < k; rep++ {
+		fit, err := e.attempt(ctx, g)
+		if err != nil {
+			return e.fail(ctx, err)
+		}
+		samples = append(samples, fit)
+	}
+	return robustCentre(samples), nil
+}
+
+// evalGeneration scores one deduplicated batch through a
+// generation-level evaluator: the batch call supplies every candidate's
+// first measurement at once (where capture sharing and lane-batched
+// replay live), then candidates needing the serial policy — failed
+// first attempts, Repeats > 1 — finish on the worker pool.
+func (e *evaluator[G]) evalGeneration(ctx context.Context, gs []G, batch func([]G) ([]float64, []error), workers int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(gs) == 0 {
+		return nil, nil
+	}
+	bfits, berrs := batch(gs)
+	if len(bfits) != len(gs) || len(berrs) != len(gs) {
+		return nil, fmt.Errorf("ga: generation evaluator returned %d fits / %d errs for %d genomes", len(bfits), len(berrs), len(gs))
+	}
+	fits := make([]float64, len(gs))
+	var follow []int
+	for i := range gs {
+		if berrs[i] == nil && e.cfg.Repeats <= 1 {
+			fits[i] = bfits[i]
+			continue
+		}
+		follow = append(follow, i)
+	}
+	if len(follow) == 0 {
+		return fits, nil
+	}
+	ffits, err := evalIndexed(ctx, len(follow), func(k int) (float64, error) {
+		i := follow[k]
+		return e.finish(ctx, gs[i], bfits[i], berrs[i])
+	}, workers)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range follow {
+		fits[i] = ffits[k]
+	}
+	return fits, nil
 }
 
 // call runs the fitness function once, bounded by EvalTimeout. The

@@ -1,6 +1,7 @@
 package pdn
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -52,4 +53,44 @@ func BenchmarkStepTrace(b *testing.B) {
 			cp.Put(p)
 		}
 	})
+}
+
+// BenchmarkStepTraceBatch measures the multi-lane kernel: L lanes
+// advance together over the shared factorization, so ns/op ÷ L is the
+// per-lane cost to compare against BenchmarkStepTrace/Batched (the
+// one-lane kernel). SetBytes counts all lanes' samples: MB/s is
+// aggregate replay throughput.
+func BenchmarkStepTraceBatch(b *testing.B) {
+	const n = 65536
+	cfg := Bulldozer()
+	dt := 1 / 3.3e9
+	cp, err := Compile(cfg, dt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Lanes%d", lanes), func(b *testing.B) {
+			src := make([][]float64, lanes)
+			dst := make([][]float64, lanes)
+			mul := make([]float64, lanes)
+			div := make([]float64, lanes)
+			add := make([]float64, lanes)
+			for l := 0; l < lanes; l++ {
+				s := make([]float64, n)
+				for i := range s {
+					s[i] = 20 + 15*math.Sin(2*math.Pi*float64(i)/float64(36+l)) + 5*math.Sin(2*math.Pi*float64(i)/7)
+				}
+				src[l] = s
+				dst[l] = make([]float64, n)
+				mul[l], div[l], add[l] = 1, 1, 0
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(lanes) * n * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bt := cp.NewBatch(lanes)
+				bt.StepTraceBatch(dst, src, mul, div, add, n)
+			}
+		})
+	}
 }

@@ -1,0 +1,365 @@
+package testbed
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the generation-batched evaluation pipeline: the GA hands
+// the testbed a whole generation's run configs at once and the
+// evaluator exploits the batch shape that per-candidate Run calls
+// cannot see. Stage 1 dedupes the configs down to distinct chip traces
+// and captures the missing ones on a worker pool (the expensive chip
+// simulation runs once per distinct program, not once per candidate).
+// Stage 2 replays the ready traces through the multi-lane PDN kernel —
+// pdn.Batch advances up to `lanes` candidate networks per pass over the
+// shared factorization — with runs that need the serial machinery
+// (sample consumers, periodic affine replays, exact-loop configs)
+// dispatched as solo jobs on the same pool.
+//
+// Every measurement is bit-identical to CompiledPlatform.Run of the
+// same config: lane replays fold through the same replayFold in the
+// same per-cycle order over bit-identical kernel output, and everything
+// else literally calls the serial path.
+
+// DefaultBatchLanes is the lane width used when a caller passes
+// lanes <= 0. Eight lanes is where the blocked multi-RHS solve saturates
+// on the PDN-sized systems this repo ships.
+const DefaultBatchLanes = 8
+
+// maxBatchLanes bounds the lane width; wider batches spill the solve's
+// register blocks without adding throughput.
+const maxBatchLanes = 32
+
+// BatchRunner is a Runner that can evaluate a whole generation at once.
+// The GA feeds it populations when available; decorators that cannot
+// batch (e.g. fault injectors, which perturb runs individually) simply
+// don't implement it and the GA stays per-candidate.
+type BatchRunner interface {
+	Runner
+	// MeasureBatch measures every config, returning slot-aligned
+	// measurements and errors (exactly one of ms[i], errs[i] is
+	// non-nil). lanes <= 0 selects DefaultBatchLanes; workers <= 0
+	// selects GOMAXPROCS.
+	MeasureBatch(rcs []RunConfig, lanes, workers int) ([]*Measurement, []error)
+}
+
+var _ BatchRunner = (*CompiledPlatform)(nil)
+
+// runParallel runs job(0..n-1) on up to `workers` goroutines.
+func runParallel(workers, n int, job func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// laneJob is one candidate replay eligible for the multi-lane kernel:
+// a ready non-periodic trace with no sample consumers attached.
+type laneJob struct {
+	slot    int
+	rc      RunConfig
+	tr      *chipTrace
+	memoKey string
+}
+
+// MeasureBatch measures a generation of run configs through the
+// two-stage pipeline. See the file comment for the stages; per-slot
+// results are bit-identical to cp.Run(rcs[i]) run in isolation, and the
+// slot order never affects any result.
+func (cp *CompiledPlatform) MeasureBatch(rcs []RunConfig, lanes, workers int) ([]*Measurement, []error) {
+	if lanes <= 0 {
+		lanes = DefaultBatchLanes
+	}
+	if lanes > maxBatchLanes {
+		lanes = maxBatchLanes
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(rcs)
+	ms := make([]*Measurement, n)
+	errs := make([]error, n)
+	cp.traces.noteBatchRuns(n)
+
+	// Classify each slot. Slots that share a finished-measurement memo
+	// key are evaluated once (dups serve from the memo afterwards);
+	// slots that share a trace key share one capture.
+	exact := make([]int, 0, n)          // slots for the reference cycle loop
+	memoRep := make(map[string]int, n)  // memoKey -> representative slot
+	dupOf := make(map[int]int, n)       // duplicate slot -> representative
+	groups := make(map[string][]int, n) // traceKey -> member slots
+	memoKeys := make([]string, n)       // per-slot memo key ("" = not memoable)
+	var keys []string                   // group keys in first-seen order
+	for i, rc := range rcs {
+		if err := rc.Validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		if !cp.replayEligible(rc) {
+			exact = append(exact, i)
+			continue
+		}
+		key, ok := traceKey(rc)
+		if !ok {
+			exact = append(exact, i)
+			continue
+		}
+		if memoable := !rc.RecordWaveform && rc.TriggerThreshold <= 0 && rc.Histogram == nil; memoable {
+			mk := replayMemoKey(key, rc)
+			memoKeys[i] = mk
+			if m, ok := cp.traces.getResult(mk); ok {
+				ms[i] = &m
+				continue
+			}
+			if rep, seen := memoRep[mk]; seen {
+				dupOf[i] = rep
+				continue
+			}
+			memoRep[mk] = i
+		}
+		if _, seen := groups[key]; !seen {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+
+	// Stage 1: resolve each group's trace — one cache lookup per group
+	// (siblings would all have hit, so they count as hits), then a
+	// worker pool captures the missing ones.
+	ready := make(map[string]*chipTrace, len(groups))
+	var missing []string
+	for _, key := range keys {
+		members := groups[key]
+		if tr := cp.traces.get(key); tr != nil {
+			ready[key] = tr
+			for range members[1:] {
+				cp.traces.noteHit()
+			}
+		} else {
+			missing = append(missing, key)
+		}
+	}
+	var readyMu sync.Mutex
+	runParallel(workers, len(missing), func(gi int) {
+		key := missing[gi]
+		members := groups[key]
+		tr, err := cp.buildTrace(rcs[members[0]])
+		if err != nil {
+			for _, i := range members {
+				errs[i] = err
+			}
+			return
+		}
+		cp.traces.put(key, tr)
+		readyMu.Lock()
+		ready[key] = tr
+		readyMu.Unlock()
+		for range members[1:] {
+			cp.traces.noteHit()
+		}
+	})
+
+	// Stage 2: schedule replays. Non-periodic traces with no sample
+	// consumers ride the multi-lane kernel; periodic traces (served by
+	// the affine early exit), consumer runs, and post-build unsupported
+	// traces take the serial paths. Lane jobs are sorted longest-first
+	// and chunked at the lane width so each kernel pass stays wide.
+	var laneJobs []laneJob
+	var solo []int // slots replayed serially
+	for _, key := range keys {
+		tr := ready[key]
+		if tr == nil {
+			continue // capture failed; members already hold the error
+		}
+		for _, i := range groups[key] {
+			switch {
+			case tr.unsupported:
+				exact = append(exact, i)
+			case tr.periodic || memoKeys[i] == "":
+				solo = append(solo, i)
+			default:
+				laneJobs = append(laneJobs, laneJob{slot: i, rc: rcs[i], tr: tr, memoKey: memoKeys[i]})
+			}
+		}
+	}
+	sort.SliceStable(laneJobs, func(a, b int) bool {
+		return len(laneJobs[a].tr.energy) > len(laneJobs[b].tr.energy)
+	})
+	nGroups := (len(laneJobs) + lanes - 1) / lanes
+	tasks := nGroups + len(solo) + len(exact)
+	runParallel(workers, tasks, func(t int) {
+		switch {
+		case t < nGroups:
+			lo := t * lanes
+			hi := lo + lanes
+			if hi > len(laneJobs) {
+				hi = len(laneJobs)
+			}
+			cp.replayLanes(laneJobs[lo:hi], ms, errs)
+		case t < nGroups+len(solo):
+			i := solo[t-nGroups]
+			m, err := cp.replay(ready[mustTraceKey(rcs[i])], rcs[i])
+			if err == nil && memoKeys[i] != "" {
+				cp.traces.putResult(memoKeys[i], *m)
+			}
+			ms[i], errs[i] = m, err
+		default:
+			i := exact[t-nGroups-len(solo)]
+			ms[i], errs[i] = cp.runExact(rcs[i])
+		}
+	})
+
+	// Serve memo duplicates from their representative's finished
+	// measurement (via the memo, so the hit counts as it would have
+	// serially; fall back to a direct copy if the memo evicted it).
+	for i, rep := range dupOf {
+		if errs[rep] != nil {
+			errs[i] = errs[rep]
+			continue
+		}
+		if m, ok := cp.traces.getResult(memoKeys[i]); ok {
+			ms[i] = &m
+			continue
+		}
+		m := *ms[rep]
+		ms[i] = &m
+	}
+	return ms, errs
+}
+
+// mustTraceKey re-derives the trace key for a slot already classified
+// as replay-eligible with a supported key.
+func mustTraceKey(rc RunConfig) string {
+	key, ok := traceKey(rc)
+	if !ok {
+		panic("testbed: trace key vanished between classification and replay")
+	}
+	return key
+}
+
+// replayLanes replays up to maxBatchLanes candidate traces in lockstep
+// through the multi-lane PDN kernel, writing slot results into ms/errs.
+// Each lane folds the kernel's bit-identical voltage stream through the
+// same replayFold as the serial replay, so a lane result matches
+// cp.replay of the same job exactly. Lanes retire independently as
+// their traces run out (swap-remove, mirroring pdn.Batch.DropLane). A
+// single-job group falls back to the serial replay: a one-lane kernel
+// pass costs more than the tuned single-lane StepTrace.
+func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs []error) {
+	L := len(jobs)
+	if L == 0 {
+		return
+	}
+	cp.traces.noteLaneBatch(L)
+	if L == 1 {
+		j := jobs[0]
+		m, err := cp.replay(j.tr, j.rc)
+		if err == nil {
+			cp.traces.putResult(j.memoKey, *m)
+		}
+		ms[j.slot], errs[j.slot] = m, err
+		return
+	}
+	p := cp.p
+	dt := p.Chip.CycleSeconds()
+	vNom := p.PDN.VNom
+
+	type lane struct {
+		job  laneJob
+		fold *replayFold
+		N    uint64
+		cyc  uint64
+		vbuf []float64
+	}
+	pb := cp.net.NewBatch(L)
+	states := make([]*lane, L)
+	muls := make([]float64, L)
+	divs := make([]float64, L)
+	adds := make([]float64, L)
+	dsts := make([][]float64, L)
+	srcs := make([][]float64, L)
+	for l, j := range jobs {
+		supply := vNom
+		if j.rc.SupplyVolts > 0 {
+			supply = j.rc.SupplyVolts
+		}
+		net := cp.getNet(j.rc.SupplyVolts)
+		pb.LoadLane(l, net)
+		cp.net.Put(net)
+		m := &Measurement{MinV: supply}
+		states[l] = &lane{
+			job:  j,
+			fold: &replayFold{p: p, m: m, vNom: vNom, warm: j.rc.WarmupCycles},
+			N:    uint64(len(j.tr.energy)),
+			vbuf: cp.getVBuf(replayChunk),
+		}
+		muls[l], divs[l], adds[l] = 1e-12, dt*supply, p.Power.LeakageAmps(p.Chip.Modules, supply)
+	}
+	finish := func(st *lane) {
+		st.fold.finish(st.job.tr, st.N, dt)
+		cp.traces.putResult(st.job.memoKey, *st.fold.m)
+		ms[st.job.slot] = st.fold.m
+		cp.vbufs.Put(st.vbuf[:0])
+	}
+	for len(states) > 0 {
+		// Retire finished lanes (high to low so swap-ins are already
+		// checked survivors).
+		for l := len(states) - 1; l >= 0; l-- {
+			if states[l].cyc < states[l].N {
+				continue
+			}
+			finish(states[l])
+			pb.DropLane(l)
+			last := len(states) - 1
+			states[l] = states[last]
+			muls[l], divs[l], adds[l] = muls[last], divs[last], adds[last]
+			states = states[:last]
+		}
+		if len(states) == 0 {
+			break
+		}
+		w := len(states)
+		n := uint64(replayChunk)
+		for _, st := range states {
+			if rem := st.N - st.cyc; rem < n {
+				n = rem
+			}
+		}
+		for l, st := range states {
+			dsts[l] = st.vbuf[:n]
+			srcs[l] = st.job.tr.energy[st.cyc : st.cyc+n]
+		}
+		pb.StepTraceBatch(dsts[:w], srcs[:w], muls[:w], divs[:w], adds[:w], int(n))
+		for l, st := range states {
+			st.fold.scan(st.cyc, srcs[l], st.job.tr.issues[st.cyc:st.cyc+n], dsts[l])
+			st.cyc += n
+		}
+	}
+}

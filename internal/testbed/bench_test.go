@@ -1,6 +1,9 @@
 package testbed
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // benchRunConfig is the voltage-at-failure probe workload: a reduced
 // supply (so every run pays the regulator settle) and a short measured
@@ -137,6 +140,101 @@ func BenchmarkMeasureExactVsReplay(b *testing.B) {
 		}
 		run(b, cp, rc, false)
 	})
+}
+
+// generationSlate is one GA generation after memoization dedup: popSize
+// distinct non-periodic programs with staggered loop and measurement
+// lengths, all replay-eligible, so the batch pipeline's lane kernels
+// get a full slate to pack.
+func generationSlate(b *testing.B, p Platform, popSize int) []RunConfig {
+	b.Helper()
+	base := resonancePeriodCycles(p)
+	rcs := make([]RunConfig, popSize)
+	for i := range rcs {
+		threads, err := SpreadPlacement(p.Chip, mulLoop(fmt.Sprintf("gen%d", i), base+2*i), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcs[i] = RunConfig{
+			Threads:      threads,
+			MaxCycles:    8000 + uint64(i%8)*1000,
+			WarmupCycles: 1000,
+			SupplyVolts:  p.Nominal() - 0.08,
+		}
+	}
+	return rcs
+}
+
+// BenchmarkGenerationBatch quantifies the generation-batched pipeline
+// against the per-candidate path on a 32-genome generation. Both run
+// with a warm trace cache — captures are phase 1, identical and shared
+// between the paths, and in a real search replays dominate (repeats,
+// supply ladders, fault retries, mutated survivors re-probing cached
+// traces) — so what's measured is population replay throughput, the
+// part multi-lane kernels accelerate. Each iteration shifts
+// WarmupCycles so the finished-measurement memo misses and every slot
+// pays a real replay. The acceptance bar for this PR is Batched/L8
+// ≥1.5× PerCandidate at 8 workers.
+func BenchmarkGenerationBatch(b *testing.B) {
+	p := Bulldozer()
+	const popSize = 32
+	const workers = 8
+
+	setup := func(b *testing.B) (*CompiledPlatform, []RunConfig) {
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcs := generationSlate(b, p, popSize)
+		_, errs := cp.MeasureBatch(rcs, DefaultBatchLanes, workers)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return cp, rcs
+	}
+	// vary dodges the finished-measurement memo: WarmupCycles is part of
+	// the memo key but not the trace key, so every iteration replays the
+	// cached traces for real. The modulus recycles keys only after the
+	// memo's FIFO has long evicted them.
+	vary := func(rcs []RunConfig, iter int) {
+		w := 1000 + 2*uint64(iter%500+1)
+		for i := range rcs {
+			rcs[i].WarmupCycles = w
+		}
+	}
+
+	b.Run("PerCandidate/W8", func(b *testing.B) {
+		cp, rcs := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vary(rcs, i)
+			runParallel(workers, len(rcs), func(j int) {
+				if _, err := cp.Run(rcs[j]); err != nil {
+					b.Error(err)
+				}
+			})
+		}
+	})
+
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Batched/L%dxW8", lanes), func(b *testing.B) {
+			cp, rcs := setup(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vary(rcs, i)
+				_, errs := cp.MeasureBatch(rcs, lanes, workers)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMedianOfKReplay is the GA's noise-rejection pattern

@@ -125,6 +125,15 @@ func (cp *CompiledPlatform) replayEligible(rc RunConfig) bool {
 	return !rc.ExactCycleLoop && rc.OS == nil && rc.MaxCycles > 0 && rc.MaxCycles <= traceMaxCycles
 }
 
+// replayMemoKey extends a trace key with the replay-side parameters
+// (supply, warmup) that a finished no-consumer Measurement depends on.
+func replayMemoKey(key string, rc RunConfig) string {
+	var w [16]byte
+	binary.LittleEndian.PutUint64(w[:8], math.Float64bits(rc.SupplyVolts))
+	binary.LittleEndian.PutUint64(w[8:], rc.WarmupCycles)
+	return key + string(w[:])
+}
+
 // runReplay executes rc through the trace pipeline, building and
 // caching the chip trace on first sight of this configuration. Runs
 // with no sample consumers are memoized outright: the simulator is
@@ -138,10 +147,7 @@ func (cp *CompiledPlatform) runReplay(rc RunConfig) (*Measurement, error) {
 	}
 	var memoKey string
 	if memoable := !rc.RecordWaveform && rc.TriggerThreshold <= 0 && rc.Histogram == nil; memoable {
-		var w [16]byte
-		binary.LittleEndian.PutUint64(w[:8], math.Float64bits(rc.SupplyVolts))
-		binary.LittleEndian.PutUint64(w[8:], rc.WarmupCycles)
-		memoKey = key + string(w[:])
+		memoKey = replayMemoKey(key, rc)
 		if m, ok := cp.traces.getResult(memoKey); ok {
 			return &m, nil
 		}

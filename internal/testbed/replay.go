@@ -24,6 +24,10 @@ import (
 //     MinV/MeanV/EnergyPJ/UnitTotals are extrapolated in closed form
 //     from the converged period. This is skipped when a scope, trigger
 //     or histogram consumes every sample.
+//
+// The per-cycle statistics fold lives in replayFold, shared with the
+// multi-lane generation pipeline (batch.go) so a lane replay folds in
+// the exact loop's order too.
 
 const (
 	// replayChunk is the batch size for streaming non-periodic spans.
@@ -53,6 +57,107 @@ func (cp *CompiledPlatform) getVBuf(n int) []float64 {
 		return b[:n]
 	}
 	return make([]float64, n)
+}
+
+// replayFold accumulates Platform.measure's per-cycle statistics over
+// streamed voltage spans. Both the single-lane replay and the
+// multi-lane generation pipeline fold through it, in the exact loop's
+// per-cycle order, so the two paths produce bit-identical statistics
+// for the same voltage stream.
+type replayFold struct {
+	p    Platform
+	m    *Measurement
+	vNom float64
+	warm uint64
+	sumV float64
+	nV   uint64
+	sc   *scope.Scope
+	trig *scope.Trigger
+	hist *scope.Histogram
+}
+
+// scan folds one simulated span into the measurement.
+func (f *replayFold) scan(base uint64, es []float64, qs []uint64, vs []float64) {
+	m := f.m
+	for i := range es {
+		cyc := base + uint64(i)
+		m.EnergyPJ += es[i]
+		q := qs[i]
+		for u := 0; u < int(isa.NumUnits); u++ {
+			m.UnitTotals[u] += (q >> (8 * uint(u))) & 0xff
+		}
+		if cyc < f.warm {
+			continue
+		}
+		v := vs[i]
+		if d := f.vNom - v; d > m.MaxDroopV {
+			m.MaxDroopV = d
+		}
+		if o := v - f.vNom; o > m.MaxOvershootV {
+			m.MaxOvershootV = o
+		}
+		if v < m.MinV {
+			m.MinV = v
+		}
+		f.sumV += v
+		f.nV++
+		if f.sc != nil {
+			f.sc.Sample(v)
+		}
+		if f.trig != nil {
+			f.trig.Sample(v)
+		}
+		if f.hist != nil {
+			f.hist.Add(v)
+		}
+		if !m.Failed && f.p.Failure.checkPacked(v, q) {
+			m.Failed = true
+			m.FailCycle = cyc
+		}
+	}
+}
+
+// finish fills the end-of-run fields: chip counters (extrapolated for
+// periodic traces, final for full ones), mean voltage and average
+// power.
+func (f *replayFold) finish(tr *chipTrace, N uint64, dt float64) {
+	m := f.m
+	m.Cycles = N
+	if tr.periodic {
+		// Chip counters at N cycles from the verified per-period
+		// deltas: ref is the boundary at headLen+periodLen, K full
+		// periods fit in the remaining span, and the partial tail is
+		// apportioned pro rata (the only approximate fields — callers
+		// that need exact tail counters set ExactCycleLoop).
+		pStart := uint64(tr.headLen)
+		pLen := uint64(tr.periodLen)
+		span := N - pStart
+		K := span / pLen // ≥ 3 by the detector's arming condition
+		rem := span % pLen
+		ext := func(ref, per uint64) uint64 { return ref + per*(K-1) + per*rem/pLen }
+		m.Retired = ext(tr.refRetired, tr.perRetired)
+		m.Branches = ext(tr.refStats.Branches, tr.perStats.Branches)
+		m.Mispredicts = ext(tr.refStats.Mispredicts, tr.perStats.Mispredicts)
+		m.L1Hits = ext(tr.refStats.L1Hits, tr.perStats.L1Hits)
+		m.L1Misses = ext(tr.refStats.L1Misses, tr.perStats.L1Misses)
+		m.L2Hits = ext(tr.refStats.L2Hits, tr.perStats.L2Hits)
+		m.L2Misses = ext(tr.refStats.L2Misses, tr.perStats.L2Misses)
+		m.L3Hits = ext(tr.refStats.L3Hits, tr.perStats.L3Hits)
+		m.L3Misses = ext(tr.refStats.L3Misses, tr.perStats.L3Misses)
+	} else {
+		m.Retired = tr.endRetired
+		st := tr.endStats
+		m.Branches, m.Mispredicts = st.Branches, st.Mispredicts
+		m.L1Hits, m.L1Misses = st.L1Hits, st.L1Misses
+		m.L2Hits, m.L2Misses = st.L2Hits, st.L2Misses
+		m.L3Hits, m.L3Misses = st.L3Hits, st.L3Misses
+	}
+	if f.nV > 0 {
+		m.MeanV = f.sumV / float64(f.nV)
+	}
+	if m.Cycles > 0 {
+		m.AvgPowerW = m.EnergyPJ*1e-12/(float64(m.Cycles)*dt) + f.p.Power.LeakageWattsPerModule*float64(f.p.Chip.Modules)
+	}
 }
 
 // replay reconstructs the Measurement for rc from a recorded trace.
@@ -95,8 +200,7 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 	warm := rc.WarmupCycles
 
 	m := &Measurement{MinV: supply}
-	var sumV float64
-	var nV uint64
+	fold := &replayFold{p: p, m: m, vNom: vNom, warm: warm, sc: sc, trig: trig, hist: rc.Histogram}
 
 	// Total cycles the exact loop would simulate: a periodic trace runs
 	// to MaxCycles; a full trace already holds every cycle (it is
@@ -118,47 +222,6 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 	}
 	vbuf := cp.getVBuf(int(bufLen))
 
-	// scan folds one simulated span into the measurement, in the exact
-	// loop's per-cycle order.
-	scan := func(base uint64, es []float64, qs []uint64, vs []float64) {
-		for i := range es {
-			cyc := base + uint64(i)
-			m.EnergyPJ += es[i]
-			q := qs[i]
-			for u := 0; u < int(isa.NumUnits); u++ {
-				m.UnitTotals[u] += (q >> (8 * uint(u))) & 0xff
-			}
-			if cyc < warm {
-				continue
-			}
-			v := vs[i]
-			if d := vNom - v; d > m.MaxDroopV {
-				m.MaxDroopV = d
-			}
-			if o := v - vNom; o > m.MaxOvershootV {
-				m.MaxOvershootV = o
-			}
-			if v < m.MinV {
-				m.MinV = v
-			}
-			sumV += v
-			nV++
-			if sc != nil {
-				sc.Sample(v)
-			}
-			if trig != nil {
-				trig.Sample(v)
-			}
-			if rc.Histogram != nil {
-				rc.Histogram.Add(v)
-			}
-			if !m.Failed && p.Failure.checkPacked(v, q) {
-				m.Failed = true
-				m.FailCycle = cyc
-			}
-		}
-	}
-
 	// Stored entries, streamed straight through.
 	cyc := uint64(0)
 	directEnd := head
@@ -173,7 +236,7 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 		es := tr.energy[cyc : cyc+n]
 		qs := tr.issues[cyc : cyc+n]
 		net.StepTrace(vbuf[:n], es, 1e-12, div, leakage)
-		scan(cyc, es, qs, vbuf[:n])
+		fold.scan(cyc, es, qs, vbuf[:n])
 		cyc += n
 	}
 
@@ -196,7 +259,7 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 			es := period[:n]
 			qs := periodQ[:n]
 			net.StepTrace(vbuf[:n], es, 1e-12, div, leakage)
-			scan(cyc, es, qs, vbuf[:n])
+			fold.scan(cyc, es, qs, vbuf[:n])
 			cyc += n
 		}
 	} else if tr.periodic && cyc < N {
@@ -210,7 +273,11 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 		// v_c(s) = vRef[c] + W_c·(s−sRef). Sampling the map is exact —
 		// no small-perturbation approximation, linearity makes the
 		// finite difference the true derivative — and costs dim+1
-		// kernel runs of one period each. After that, each boundary
+		// kernel runs of one period each: the reference run plus dim
+		// unit-perturbed probes. The probes all share one drive period,
+		// so they run as lanes of a single multi-lane kernel pass (each
+		// lane bit-identical to the sequential probe it replaces)
+		// instead of dim sequential runs. After that, each boundary
 		// advances with O(dim² + pLen·dim) arithmetic instead of pLen
 		// dense MNA solves, which is where a long periodic replay's
 		// time would otherwise go. The first tile has ds = 0, so its
@@ -227,22 +294,39 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 		A := make([]float64, dim*dim)       // column k at A[k*dim:]
 		W := make([]float64, int(pLen)*dim) // row c at W[c*dim:]
 		scratch := make([]float64, dim)
-		vTmp := cp.getVBuf(int(pLen))
-		for k := 0; k < dim; k++ {
-			copy(scratch, sRef)
-			scratch[k]++
-			net.SetStateVec(scratch)
-			net.StepTrace(vTmp[:pLen], period, 1e-12, div, leakage)
-			net.StateVec(scratch)
-			col := A[k*dim : k*dim+dim]
-			for i := range col {
-				col[i] = scratch[i] - eRef[i]
+		{
+			pb := cp.net.NewBatch(dim)
+			probeV := make([]float64, dim*int(pLen))
+			dsts := make([][]float64, dim)
+			srcs := make([][]float64, dim)
+			muls := make([]float64, dim)
+			divs := make([]float64, dim)
+			adds := make([]float64, dim)
+			for k := 0; k < dim; k++ {
+				// Sources (the lane's supply set-point and last sink
+				// value) come from the live state; only the dynamic
+				// state is perturbed.
+				pb.LoadLane(k, net)
+				copy(scratch, sRef)
+				scratch[k]++
+				pb.SetLaneStateVec(k, scratch)
+				dsts[k] = probeV[k*int(pLen) : (k+1)*int(pLen)]
+				srcs[k] = period
+				muls[k], divs[k], adds[k] = 1e-12, div, leakage
 			}
-			for c := 0; c < int(pLen); c++ {
-				W[c*dim+k] = vTmp[c] - vRef[c]
+			pb.StepTraceBatch(dsts, srcs, muls, divs, adds, int(pLen))
+			for k := 0; k < dim; k++ {
+				pb.LaneStateVec(k, scratch)
+				col := A[k*dim : k*dim+dim]
+				for i := range col {
+					col[i] = scratch[i] - eRef[i]
+				}
+				vk := dsts[k]
+				for c := 0; c < int(pLen); c++ {
+					W[c*dim+k] = vk[c] - vRef[c]
+				}
 			}
 		}
-		cp.vbufs.Put(vTmp[:0])
 
 		volts := func(dst []float64, ds []float64) {
 			for c := range dst {
@@ -269,7 +353,7 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 				ds[i] = sCur[i] - sRef[i]
 			}
 			volts(vbuf[:pLen], ds)
-			scan(cyc, period, periodQ, vbuf[:pLen])
+			fold.scan(cyc, period, periodQ, vbuf[:pLen])
 			cyc += pLen
 			if cyc < N {
 				if !havePrev {
@@ -341,7 +425,7 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 				ds[i] = sCur[i] - sRef[i]
 			}
 			volts(vbuf[:rem], ds)
-			scan(cyc, period[:rem], periodQ[:rem], vbuf[:rem])
+			fold.scan(cyc, period[:rem], periodQ[:rem], vbuf[:rem])
 			cyc += rem
 		}
 		cp.vbufs.Put(vRef[:0])
@@ -367,8 +451,8 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 				}
 			}
 			if K > 0 {
-				sumV += psum * float64(K)
-				nV += K * pLen
+				fold.sumV += psum * float64(K)
+				fold.nV += K * pLen
 				if d := vNom - pmin; d > m.MaxDroopV {
 					m.MaxDroopV = d
 				}
@@ -394,8 +478,8 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 				if v < m.MinV {
 					m.MinV = v
 				}
-				sumV += v
-				nV++
+				fold.sumV += v
+				fold.nV++
 				m.EnergyPJ += period[i]
 				q := periodQ[i]
 				for u := 0; u < int(isa.NumUnits); u++ {
@@ -405,40 +489,7 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 		}
 	}
 
-	m.Cycles = N
-	if tr.periodic {
-		// Chip counters at N cycles from the verified per-period
-		// deltas: ref is the boundary at headLen+periodLen, K full
-		// periods fit in the remaining span, and the partial tail is
-		// apportioned pro rata (the only approximate fields — callers
-		// that need exact tail counters set ExactCycleLoop).
-		span := N - pStart
-		K := span / pLen // ≥ 3 by the detector's arming condition
-		rem := span % pLen
-		ext := func(ref, per uint64) uint64 { return ref + per*(K-1) + per*rem/pLen }
-		m.Retired = ext(tr.refRetired, tr.perRetired)
-		m.Branches = ext(tr.refStats.Branches, tr.perStats.Branches)
-		m.Mispredicts = ext(tr.refStats.Mispredicts, tr.perStats.Mispredicts)
-		m.L1Hits = ext(tr.refStats.L1Hits, tr.perStats.L1Hits)
-		m.L1Misses = ext(tr.refStats.L1Misses, tr.perStats.L1Misses)
-		m.L2Hits = ext(tr.refStats.L2Hits, tr.perStats.L2Hits)
-		m.L2Misses = ext(tr.refStats.L2Misses, tr.perStats.L2Misses)
-		m.L3Hits = ext(tr.refStats.L3Hits, tr.perStats.L3Hits)
-		m.L3Misses = ext(tr.refStats.L3Misses, tr.perStats.L3Misses)
-	} else {
-		m.Retired = tr.endRetired
-		st := tr.endStats
-		m.Branches, m.Mispredicts = st.Branches, st.Mispredicts
-		m.L1Hits, m.L1Misses = st.L1Hits, st.L1Misses
-		m.L2Hits, m.L2Misses = st.L2Hits, st.L2Misses
-		m.L3Hits, m.L3Misses = st.L3Hits, st.L3Misses
-	}
-	if nV > 0 {
-		m.MeanV = sumV / float64(nV)
-	}
-	if m.Cycles > 0 {
-		m.AvgPowerW = m.EnergyPJ*1e-12/(float64(m.Cycles)*dt) + p.Power.LeakageWattsPerModule*float64(p.Chip.Modules)
-	}
+	fold.finish(tr, N, dt)
 	if sc != nil {
 		w := sc.Waveform()
 		m.Waveform = append([]float64(nil), w...)

@@ -395,6 +395,13 @@ type TraceStats struct {
 	// PDNEarlyExits counts replays whose PDN response converged and was
 	// extrapolated instead of stepped to the end.
 	PDNEarlyExits uint64
+	// BatchRuns counts run configs that entered MeasureBatch's
+	// generation pipeline (whatever stage ultimately served them).
+	BatchRuns uint64
+	// LaneRuns counts replays executed inside a multi-lane kernel pass,
+	// and LaneBatches the passes themselves, so LaneRuns/LaneBatches is
+	// the mean lane occupancy the pipeline achieved.
+	LaneRuns, LaneBatches uint64
 	// Bytes is the cache's current footprint.
 	Bytes int
 }
@@ -422,6 +429,7 @@ type traceCache struct {
 	resultFifo []string
 
 	hits, misses, memoHits, earlyExits uint64
+	batchRuns, laneRuns, laneBatches   uint64
 }
 
 func (tc *traceCache) get(key string) *chipTrace {
@@ -471,6 +479,30 @@ func (tc *traceCache) noteEarlyExit() {
 	tc.mu.Unlock()
 }
 
+// noteHit records a cache hit for a batch member that shares a trace
+// another member already looked up (the group does one real get; the
+// siblings would each have hit too).
+func (tc *traceCache) noteHit() {
+	tc.mu.Lock()
+	tc.hits++
+	tc.mu.Unlock()
+}
+
+// noteBatchRuns records n run configs entering the generation pipeline.
+func (tc *traceCache) noteBatchRuns(n int) {
+	tc.mu.Lock()
+	tc.batchRuns += uint64(n)
+	tc.mu.Unlock()
+}
+
+// noteLaneBatch records one multi-lane kernel pass replaying n lanes.
+func (tc *traceCache) noteLaneBatch(n int) {
+	tc.mu.Lock()
+	tc.laneBatches++
+	tc.laneRuns += uint64(n)
+	tc.mu.Unlock()
+}
+
 // getResult looks up a memoized finished measurement. A hit counts as
 // a cache hit (the run was served from cache, just further along the
 // pipeline than a trace hit). Measurement holds no reference types
@@ -508,7 +540,8 @@ func (tc *traceCache) stats() TraceStats {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	s := TraceStats{Hits: tc.hits, Misses: tc.misses, MemoHits: tc.memoHits,
-		PDNEarlyExits: tc.earlyExits, Bytes: tc.used}
+		PDNEarlyExits: tc.earlyExits, BatchRuns: tc.batchRuns,
+		LaneRuns: tc.laneRuns, LaneBatches: tc.laneBatches, Bytes: tc.used}
 	for _, tr := range tc.m {
 		if tr.periodic {
 			s.Periodic++

@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEvalColdVsCompiled|BenchmarkGARunMemoized|BenchmarkMeasureExactVsReplay|BenchmarkMedianOfKReplay|BenchmarkStepTrace' \
+go test -run '^$' -bench 'BenchmarkEvalColdVsCompiled|BenchmarkGARunMemoized|BenchmarkGenerationBatch|BenchmarkMeasureExactVsReplay|BenchmarkMedianOfKReplay|BenchmarkStepTrace' \
   -benchmem -benchtime "${BENCHTIME:-2s}" -count=1 \
   ./internal/testbed/ ./internal/core/ ./internal/pdn/ | tee "$out"
 

@@ -66,6 +66,7 @@ type cliOptions struct {
 	exact                  bool
 	batchLanes             int
 	traceCacheMB           int
+	traceStore             string
 	cpuProfile, pprofAddr  string
 }
 
@@ -90,6 +91,7 @@ func main() {
 	flag.BoolVar(&c.exact, "exact", false, "force the reference per-cycle measurement loop (disable trace replay)")
 	flag.IntVar(&c.batchLanes, "batch-lanes", 0, "replay lanes per batched generation (0 = default, negative disables batching)")
 	flag.IntVar(&c.traceCacheMB, "trace-cache-mb", 0, "trace cache budget in MiB (0 = default 128)")
+	flag.StringVar(&c.traceStore, "trace-store", "", "persist chip traces in this directory across runs (created if absent)")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the search to this file")
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -174,6 +176,7 @@ func run(ctx context.Context, c cliOptions) error {
 		ExactEval:       c.exact,
 		BatchLanes:      c.batchLanes,
 		TraceCacheBytes: c.traceCacheMB << 20,
+		TraceStorePath:  c.traceStore,
 		GA: audit.GAConfig{
 			PopSize: c.pop, Elites: 2, TournamentK: 3,
 			MutationProb: 0.6, MaxGenerations: c.gens, StagnantLimit: 6,
@@ -386,6 +389,14 @@ func printThroughput(evals int, elapsed time.Duration, hits, misses int, ts audi
 	}
 	if ts.LaneBatches > 0 {
 		fmt.Fprintf(os.Stderr, ", lane occupancy %.1f", float64(ts.LaneRuns)/float64(ts.LaneBatches))
+	}
+	if tot := ts.StoreHits + ts.StoreMisses; tot > 0 {
+		fmt.Fprintf(os.Stderr, ", trace-store hits %d/%d", ts.StoreHits, tot)
+	}
+	if ts.CaptureNS+ts.ReplayNS > 0 {
+		fmt.Fprintf(os.Stderr, ", capture %s / replay %s",
+			time.Duration(ts.CaptureNS).Round(time.Millisecond),
+			time.Duration(ts.ReplayNS).Round(time.Millisecond))
 	}
 	fmt.Fprintln(os.Stderr)
 }

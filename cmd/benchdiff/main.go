@@ -164,15 +164,26 @@ func diff(base, got map[string]Entry, maxRegress, maxAllocs float64) bool {
 		fmt.Printf("%-48s %14.0f %14.0f %+7.1f%% %10.0f%s\n",
 			name, b.NsPerOp, g.NsPerOp, 100*delta, g.AllocsPerOp, mark)
 	}
+	// A baseline entry with no counterpart in this run means the gate
+	// silently shrank (benchmark renamed, deleted, or filtered out) —
+	// that must fail as loudly as a slowdown, or regressions hide by
+	// disappearing.
+	missing := false
 	for name := range base {
 		if _, ok := got[name]; !ok {
-			fmt.Printf("%-48s  missing from this run\n", name)
+			fmt.Printf("%-48s  MISSING from this run\n", name)
+			missing = true
 		}
 	}
-	if regressed {
+	switch {
+	case missing && regressed:
+		fmt.Println("\nFAIL: benchmark regression and missing benchmarks against baseline")
+	case missing:
+		fmt.Println("\nFAIL: baseline benchmarks missing from this run")
+	case regressed:
 		fmt.Println("\nFAIL: benchmark regression against baseline")
-	} else {
+	default:
 		fmt.Println("\nok: no regressions against baseline")
 	}
-	return regressed
+	return regressed || missing
 }

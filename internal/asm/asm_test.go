@@ -146,7 +146,7 @@ func randomProgram(rng *rand.Rand) *Program {
 	gpr := func() isa.Reg { return isa.GPR(rng.Intn(isa.NumGPR)) }
 	xmm := func() isa.Reg { return isa.XMM(rng.Intn(isa.NumXMM)) }
 	for i := 0; i < n; i++ {
-		switch rng.Intn(7) {
+		switch rng.Intn(11) {
 		case 0:
 			b.Nop(1 + rng.Intn(3))
 		case 1:
@@ -160,7 +160,17 @@ func randomProgram(rng *rand.Rand) *Program {
 		case 5:
 			b.Store("store", gpr(), int32(rng.Intn(256))*8, gpr())
 		case 6:
-			b.RI("movimm", gpr(), rng.Int63n(1<<32))
+			// Negative immediates must survive both wire formats.
+			b.RI("movimm", gpr(), rng.Int63n(1<<32)-(1<<31))
+		case 7:
+			b.Barrier(int64(rng.Intn(8)))
+		case 8:
+			// 128-bit memory ops, with negative displacements.
+			b.Load("loadx", xmm(), gpr(), int32(rng.Intn(512))*8-2048)
+		case 9:
+			b.Store("storex", gpr(), int32(rng.Intn(512))*8-2048, xmm())
+		case 10:
+			b.RI("shl", gpr(), int64(rng.Intn(64)))
 		}
 	}
 	b.Branch("jnz", "top")
@@ -331,6 +341,29 @@ func FuzzDecode(f *testing.F) {
 	blob, _ := Encode(MustParse(sample))
 	f.Add(blob)
 	f.Add([]byte("ADT1"))
+	// Seed the corpus with encodings that exercise every operand wire
+	// form: barriers, negative immediates and displacements, and the
+	// 128-bit memory ops' XMM register kind.
+	seeds := []*Program{
+		NewBuilder("barrier").Barrier(0).Barrier(63).MustBuild(),
+		NewBuilder("negimm").
+			RI("movimm", isa.GPR(3), -1).
+			RI("movimm", isa.GPR(4), -(1 << 40)).
+			RI("shl", isa.GPR(3), 63).
+			MustBuild(),
+		NewBuilder("memx").SetMem(4096).
+			Load("loadx", isa.XMM(7), isa.GPR(2), -16).
+			Store("storex", isa.GPR(2), 2040, isa.XMM(15)).
+			Load("lea", isa.GPR(5), isa.GPR(6), 8).
+			MustBuild(),
+	}
+	for _, p := range seeds {
+		enc, err := Encode(p)
+		if err != nil {
+			f.Fatalf("seed %s: %v", p.Name, err)
+		}
+		f.Add(enc)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Decode(data)
 		if err != nil {

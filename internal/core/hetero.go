@@ -123,8 +123,8 @@ func GenerateHetero(ctx context.Context, opt Options) (*HeteroStressmark, error)
 	if err != nil {
 		return nil, err
 	}
-	if opt.TraceCacheBytes > 0 {
-		cp.SetTraceCacheLimit(opt.TraceCacheBytes)
+	if err := applyTraceOptions(cp, opt); err != nil {
+		return nil, err
 	}
 	var runner testbed.Runner = cp
 	if opt.WrapRunner != nil {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+// TestGenerateWithTraceStore is the end-to-end contract of
+// Options.TraceStorePath: a full Generate run with a store produces a
+// search trajectory and winner identical to a store-free run, and a
+// second run over the now-warm directory serves phase-1 captures from
+// disk (store hits > 0) while still matching exactly.
+func TestGenerateWithTraceStore(t *testing.T) {
+	p := testbed.Bulldozer()
+	dir := t.TempDir()
+	gen := func(storePath string) *Stressmark {
+		sm, err := Generate(context.Background(), Options{
+			Platform:       p,
+			LoopCycles:     36,
+			GA:             smallGA(7),
+			MeasureCycles:  2000,
+			WarmupCycles:   1200,
+			Seed:           7,
+			TraceStorePath: storePath,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	compare := func(name string, got, want *Stressmark) {
+		t.Helper()
+		if got.DroopV != want.DroopV {
+			t.Errorf("%s: droop diverged: %v vs %v", name, got.DroopV, want.DroopV)
+		}
+		if !reflect.DeepEqual(got.Search.History, want.Search.History) {
+			t.Errorf("%s: search history diverged", name)
+		}
+		if !reflect.DeepEqual(got.Genome, want.Genome) {
+			t.Errorf("%s: winning genomes diverged", name)
+		}
+	}
+
+	bare := gen("")
+	cold := gen(dir)
+	compare("cold store", cold, bare)
+	if cold.TraceStats.StoreMisses == 0 {
+		t.Error("cold run recorded no store misses; store not consulted")
+	}
+	if cold.TraceStats.StoreHits != 0 {
+		t.Errorf("cold run hit an empty store %d times", cold.TraceStats.StoreHits)
+	}
+
+	warm := gen(dir)
+	compare("warm store", warm, bare)
+	if warm.TraceStats.StoreHits == 0 {
+		t.Error("warm run served no captures from the store")
+	}
+	if warm.TraceStats.CaptureNS >= cold.TraceStats.CaptureNS &&
+		warm.TraceStats.StoreMisses >= cold.TraceStats.StoreMisses {
+		t.Errorf("warm run did not reduce capture work: capture %dns→%dns, misses %d→%d",
+			cold.TraceStats.CaptureNS, warm.TraceStats.CaptureNS,
+			cold.TraceStats.StoreMisses, warm.TraceStats.StoreMisses)
+	}
+}

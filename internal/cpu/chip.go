@@ -33,10 +33,25 @@ type Chip struct {
 	cycle    uint64
 	throttle int // live FP throttle limit; 0 = off
 
-	// barrier registry: id → set of waiting global core indices
-	barrierWaiting map[int64]map[int]bool
+	// Barrier registry. Barrier ids are registered at Attach (from the
+	// thread's pre-decoded templates) into dense slots so the per-cycle
+	// paths never touch a map: barriers[slot] holds the waiting set as a
+	// per-core bool slice plus a count, waitingCores is the chip-wide
+	// total (the fast-path gate), and partsScratch is the reusable
+	// participant buffer for releaseBarriers.
+	barriers     []barrierState
+	barrierIdx   map[int64]int32
+	waitingCores int
+	partsScratch []*core
 
 	res CycleResult // scratch for the current cycle
+}
+
+// barrierState is one registered barrier id's waiting set.
+type barrierState struct {
+	id      int64
+	waiting []bool // indexed by global core
+	count   int
 }
 
 type module struct {
@@ -129,11 +144,12 @@ func NewChip(cfg uarch.ChipConfig, pm power.Model) (*Chip, error) {
 		return nil, err
 	}
 	ch := &Chip{
-		cfg:            cfg,
-		pm:             pm,
-		l3:             l3,
-		throttle:       cfg.FPThrottleLimit,
-		barrierWaiting: map[int64]map[int]bool{},
+		cfg:          cfg,
+		pm:           pm,
+		l3:           l3,
+		throttle:     cfg.FPThrottleLimit,
+		barrierIdx:   map[int64]int32{},
+		partsScratch: make([]*core, 0, cfg.Threads()),
 	}
 	horizon := cfg.MemLat + 64
 	g := 0
@@ -153,6 +169,8 @@ func NewChip(cfg uarch.ChipConfig, pm power.Model) (*Chip, error) {
 				idx:         ci,
 				gidx:        g,
 				l1:          l1,
+				intQ:        make([]queued, 0, cfg.IntQueue),
+				fpQ:         make([]queued, 0, cfg.FPQueue),
 				mshr:        make([]uint64, cfg.MSHRs),
 				busUsed:     make([]uint8, horizon),
 				busCycle:    make([]uint64, horizon),
@@ -183,9 +201,12 @@ func (ch *Chip) Reset() {
 	ch.cycle = 0
 	ch.throttle = ch.cfg.FPThrottleLimit
 	ch.res = CycleResult{}
-	for id := range ch.barrierWaiting {
-		delete(ch.barrierWaiting, id)
+	ch.barriers = ch.barriers[:0]
+	for id := range ch.barrierIdx {
+		delete(ch.barrierIdx, id)
 	}
+	ch.waitingCores = 0
+	ch.partsScratch = ch.partsScratch[:0]
 	ch.l3.Reset()
 	for _, m := range ch.modules {
 		m.l2.Reset()
@@ -251,7 +272,31 @@ func (ch *Chip) Attach(moduleIdx, coreIdx int, th *Thread) error {
 	}
 	th.SetGlobalBase(uint64(c.gidx+1) << 32)
 	c.th = th
+	// Register the program's barrier ids into dense slots and annotate
+	// the thread's templates with them, so barrier decode and release
+	// never consult a map.
+	for i := range th.tmpl {
+		tpl := &th.tmpl[i]
+		if tpl.class == isa.ClassBarrier {
+			tpl.barrierSlot = ch.barrierSlot(tpl.barrierID)
+		}
+	}
 	return nil
+}
+
+// barrierSlot returns (registering if new) the dense slot of a barrier
+// id.
+func (ch *Chip) barrierSlot(id int64) int32 {
+	if s, ok := ch.barrierIdx[id]; ok {
+		return s
+	}
+	s := int32(len(ch.barriers))
+	ch.barriers = append(ch.barriers, barrierState{
+		id:      id,
+		waiting: make([]bool, ch.cfg.Threads()),
+	})
+	ch.barrierIdx[id] = s
+	return s
 }
 
 // InjectStall freezes a core's decode for the given number of cycles,
@@ -483,32 +528,32 @@ func (c *core) decode(now uint64, width int) {
 		if !ok {
 			break
 		}
-		op := u.In.Op
+		tpl := u.tpl
 		switch {
-		case op.Class == isa.ClassNOP:
+		case tpl.class == isa.ClassNOP:
 			// Fetch/decode only: no queue entry, no unit, no result.
-			ch.res.EnergyPJ += pm.FrontEndPJPerOp + op.EnergyPJ
+			ch.res.EnergyPJ += pm.FrontEndPJPerOp + tpl.energyPJ
 			c.th.Consume()
 			c.retired++
 			decoded++
-		case op.Class == isa.ClassBarrier:
+		case tpl.class == isa.ClassBarrier:
 			c.waitBarrier = u.BarrierID
-			w := ch.barrierWaiting[u.BarrierID]
-			if w == nil {
-				w = map[int]bool{}
-				ch.barrierWaiting[u.BarrierID] = w
+			b := &ch.barriers[tpl.barrierSlot]
+			if !b.waiting[c.gidx] {
+				b.waiting[c.gidx] = true
+				b.count++
+				ch.waitingCores++
 			}
-			w[c.gidx] = true
 			c.th.Consume()
 			c.retired++
 			decoded++
 			// Stop decoding past a barrier.
 			c.markDecoded(decoded)
 			return
-		case op.Class == isa.ClassBranch:
+		case tpl.class == isa.ClassBranch:
 			// Branches resolve at decode in this model; a wrong
 			// prediction costs a front-end bubble.
-			ch.res.EnergyPJ += pm.FrontEndPJPerOp + op.EnergyPJ
+			ch.res.EnergyPJ += pm.FrontEndPJPerOp + tpl.energyPJ
 			ch.res.UnitIssues[isa.UnitBranch]++
 			taken := u.Taken
 			predictTaken := c.predictBranch(u)
@@ -526,7 +571,7 @@ func (c *core) decode(now uint64, width int) {
 				c.markDecoded(decoded)
 				return
 			}
-		case op.Unit == isa.UnitFPU:
+		case tpl.isFP:
 			if fpDisp == 0 || len(c.fpQ) >= cfg.FPQueue {
 				c.markDecoded(decoded)
 				return
@@ -541,7 +586,7 @@ func (c *core) decode(now uint64, width int) {
 				c.markDecoded(decoded)
 				return
 			}
-			if op.Class.IsMem() && c.lsq >= cfg.LSQ {
+			if tpl.isMem && c.lsq >= cfg.LSQ {
 				c.markDecoded(decoded)
 				return
 			}
@@ -551,7 +596,7 @@ func (c *core) decode(now uint64, width int) {
 			}
 			intDisp--
 			ch.res.EnergyPJ += pm.FrontEndPJPerOp
-			if op.Class.IsMem() {
+			if tpl.isMem {
 				c.lsq++
 			}
 			c.intQ = append(c.intQ, queued{u: *u, deps: c.rename(u)})
@@ -572,7 +617,7 @@ func (c *core) markDecoded(n int) {
 // predictBranch returns the predicted direction for a branch uop:
 // static backward-taken/forward-not-taken, or gshare when configured.
 func (c *core) predictBranch(u *Uop) bool {
-	if u.In.Op.Name == "jmp" {
+	if u.tpl.branchKind == brJmp {
 		return true
 	}
 	if c.btable == nil {
@@ -582,13 +627,9 @@ func (c *core) predictBranch(u *Uop) bool {
 }
 
 func (c *core) btableIndex(u *Uop) uint32 {
-	pc := uint32(u.In.Target) // stable per static branch site
-	if u.In.Label != "" {
-		for _, ch := range u.In.Label {
-			pc = pc*31 + uint32(ch)
-		}
-	}
-	return (pc ^ c.ghist) & uint32(len(c.btable)-1)
+	// btHash is the static branch site's hash, precomputed at template
+	// compile.
+	return (u.tpl.btHash ^ c.ghist) & uint32(len(c.btable)-1)
 }
 
 // recordBranch updates predictor state and statistics.
@@ -597,7 +638,7 @@ func (c *core) recordBranch(u *Uop, taken, predicted bool) {
 	if taken != predicted {
 		c.mispredicts++
 	}
-	if c.btable != nil && u.In.Op.Name != "jmp" {
+	if c.btable != nil && u.tpl.branchKind != brJmp {
 		i := c.btableIndex(u)
 		if taken {
 			if c.btable[i] < 3 {
@@ -617,24 +658,14 @@ func (c *core) recordBranch(u *Uop, taken, predicted bool) {
 // registers the uop as the new writer of its destination. It must be
 // called in program order (at decode).
 func (c *core) rename(u *Uop) depSet {
+	tpl := u.tpl
 	var deps depSet
-	n := 0
-	add := func(r isa.Reg) {
-		if r.Valid() {
-			deps.d[n] = c.regWriterTag[r.FlatIndex()]
-			n++
-		}
+	for i := uint8(0); i < tpl.nsrc; i++ {
+		deps.d[i] = c.regWriterTag[tpl.srcRegs[i]]
 	}
-	in := u.In
-	if in.Op.DstIsSrc {
-		add(in.Dst)
-	}
-	add(in.Src1)
-	add(in.Src2)
-	add(in.MemBase)
-	if d := in.Dest(); d.Valid() {
+	if tpl.dstIdx >= 0 {
 		tag := u.Seq + 1
-		c.regWriterTag[d.FlatIndex()] = tag
+		c.regWriterTag[tpl.dstIdx] = tag
 		s := tag % ringK
 		c.ringTag[s] = tag
 		c.readyRing[s] = pendingCycle
@@ -671,7 +702,7 @@ func (c *core) issueInt(now uint64) {
 			i++
 			continue
 		}
-		unit := u.In.Op.Unit
+		unit := u.tpl.unit
 		switch unit {
 		case isa.UnitALU:
 			if alu == 0 {
@@ -696,7 +727,7 @@ func (c *core) issueInt(now uint64) {
 				i++
 				continue
 			}
-			c.idivBusyUntil = now + uint64(u.In.Op.RecipThroughput)
+			c.idivBusyUntil = now + u.tpl.recipTP
 		case isa.UnitLSU:
 			if lsu == 0 {
 				i++
@@ -739,23 +770,26 @@ func (c *core) takeMSHR(now uint64, level memLevel) bool {
 // readiness, energy and activity accounting.
 func (c *core) execute(u *Uop, now uint64, unit isa.Unit) {
 	ch := c.mod.chip
-	op := u.In.Op
-	lat := uint64(op.Latency)
+	tpl := u.tpl
+	lat := tpl.latency
 	var extraPJ float64
-	if op.Class.IsMem() {
+	if tpl.isMem {
 		c.lsq--
 		lat, extraPJ = u.memLevel.latencyEnergy(ch.cfg)
 	}
 	cc := now + lat
-	if d := u.In.Dest(); d.Valid() {
+	if tpl.dstIdx >= 0 {
 		cc = c.busSlot(cc)
 		c.complete(u.Seq+1, cc)
 	}
-	// Toggle-scaled execution energy.
+	// Toggle-scaled execution energy. The expression keeps the
+	// interpreter's exact shape — only 1-ToggleFraction is folded at
+	// template compile, which is the same subtraction on the same
+	// operands.
 	frac := 0.7*isa.ToggleFractionOf(c.lastSrc[unit], u.SrcA) +
 		0.3*isa.ToggleFractionOf(c.lastRes[unit], u.Result)
 	c.lastSrc[unit], c.lastRes[unit] = u.SrcA, u.Result
-	eff := op.EnergyPJ * ((1 - op.ToggleFraction) + op.ToggleFraction*frac)
+	eff := tpl.energyPJ * (tpl.oneMinusTF + tpl.toggleTF*frac)
 	ch.res.EnergyPJ += eff + ch.pm.SchedPJPerIssue + extraPJ
 	ch.res.UnitIssues[unit]++
 	c.retired++
@@ -843,16 +877,16 @@ func (c *core) complete(tag, cc uint64) {
 func (c *core) executeFP(u *Uop, now uint64) {
 	ch := c.mod.chip
 	m := c.mod
-	op := u.In.Op
-	cc := now + uint64(op.Latency)
-	if d := u.In.Dest(); d.Valid() {
+	tpl := u.tpl
+	cc := now + tpl.latency
+	if tpl.dstIdx >= 0 {
 		cc = c.busSlot(cc)
 		c.complete(u.Seq+1, cc)
 	}
 	frac := 0.7*isa.ToggleFractionOf(m.fpLastSrc, u.SrcA) +
 		0.3*isa.ToggleFractionOf(m.fpLastRes, u.Result)
 	m.fpLastSrc, m.fpLastRes = u.SrcA, u.Result
-	eff := op.EnergyPJ * ((1 - op.ToggleFraction) + op.ToggleFraction*frac)
+	eff := tpl.energyPJ * (tpl.oneMinusTF + tpl.toggleTF*frac)
 	ch.res.EnergyPJ += eff + ch.pm.SchedPJPerIssue
 	ch.res.UnitIssues[isa.UnitFPU]++
 	m.fpIssued = true
@@ -905,12 +939,13 @@ func (ch *Chip) memAccess(c *core, addr uint64) memLevel {
 // misalignment the paper observed dampening the barrier stressmark
 // (§5.A.1).
 func (ch *Chip) releaseBarriers(now uint64) {
-	if len(ch.barrierWaiting) == 0 {
+	if ch.waitingCores == 0 {
 		return
 	}
 	// Participants: every attached core whose thread is not done or is
-	// currently waiting.
-	var participants []*core
+	// currently waiting. The scratch buffer is chip-owned so the hot
+	// loop never allocates.
+	participants := ch.partsScratch[:0]
 	for _, m := range ch.modules {
 		for _, c := range m.cores {
 			if c.th != nil && (c.waitBarrier >= 0 || !c.th.Done() || len(c.intQ) > 0 || len(c.fpQ) > 0) {
@@ -918,10 +953,15 @@ func (ch *Chip) releaseBarriers(now uint64) {
 			}
 		}
 	}
-	for id, waiting := range ch.barrierWaiting {
+	ch.partsScratch = participants[:0]
+	for bi := range ch.barriers {
+		b := &ch.barriers[bi]
+		if b.count == 0 {
+			continue
+		}
 		all := len(participants) > 0
 		for _, c := range participants {
-			if !waiting[c.gidx] {
+			if !b.waiting[c.gidx] {
 				all = false
 				break
 			}
@@ -938,6 +978,10 @@ func (ch *Chip) releaseBarriers(now uint64) {
 			c.waitBarrier = -1
 			rank++
 		}
-		delete(ch.barrierWaiting, id)
+		ch.waitingCores -= b.count
+		b.count = 0
+		for i := range b.waiting {
+			b.waiting[i] = false
+		}
 	}
 }

@@ -681,3 +681,48 @@ func TestBadPredictorRejected(t *testing.T) {
 		t.Error("unknown predictor accepted")
 	}
 }
+
+// BenchmarkCaptureHotLoop is the capture-side acceptance benchmark: one
+// Chip.Step per iteration on a fully-populated Bulldozer chip running a
+// representative stressmark mix (FP pipes, integer cluster, loads and
+// stores, a barrier). One op is one simulated cycle, so cycles/sec =
+// 1e9 / (ns/op); the steady-state allocation bar is 0 allocs/op.
+func BenchmarkCaptureHotLoop(b *testing.B) {
+	cfg := uarch.Bulldozer()
+	bb := asm.NewBuilder("capture-bench")
+	bb.SetMem(1 << 14)
+	bb.InitToggle(16, 8)
+	bb.RI("movimm", isa.RCX, 1<<40)
+	bb.Label("loop")
+	bb.RRR("vfmadd132pd", isa.XMM(0), isa.XMM(1), isa.XMM(8))
+	bb.RRR("mulpd", isa.XMM(2), isa.XMM(3), isa.XMM(9))
+	bb.RR("imul", isa.RAX, isa.RDX)
+	bb.Load("load", isa.RBX, isa.RBP, 64)
+	bb.Store("store", isa.RBP, 192, isa.RBX)
+	bb.RR("popcnt", isa.RSI, isa.RAX)
+	bb.Barrier(3)
+	bb.RR("dec", isa.RCX, isa.RCX)
+	bb.Branch("jnz", "loop")
+	p := bb.MustBuild()
+	ch, err := NewChip(cfg, power.BulldozerModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m := 0; m < cfg.Modules; m++ {
+		for c := 0; c < cfg.CoresPerModule; c++ {
+			th, err := NewThread(p, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ch.Attach(m, c, th); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+}

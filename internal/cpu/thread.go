@@ -27,6 +27,10 @@ type Uop struct {
 	// Seq is the dynamic instruction number within the thread.
 	Seq uint64
 
+	// tpl is the pre-decoded template of the static instruction; the
+	// timing model reads opcode metadata from it instead of In.Op.
+	tpl *uopTemplate
+
 	// memLevel is filled in by the timing model when the access is
 	// issued (which cache level serviced it).
 	memLevel memLevel
@@ -40,6 +44,7 @@ const defaultMemBytes = 4096
 // keeps different threads' lines distinct in the shared caches.
 type Thread struct {
 	prog *asm.Program
+	tmpl []uopTemplate
 	pc   int
 	regs [isa.TotalRegs]isa.Value
 	mem  []byte
@@ -70,7 +75,7 @@ func NewThread(p *asm.Program, maxInstrs uint64) (*Thread, error) {
 	}
 	// Round to a multiple of 16 so 128-bit accesses can wrap cleanly.
 	memBytes = (memBytes + 15) &^ 15
-	t := &Thread{prog: p, mem: make([]byte, memBytes), maxInstrs: maxInstrs}
+	t := &Thread{prog: p, tmpl: compileTemplates(p), mem: make([]byte, memBytes), maxInstrs: maxInstrs}
 	for r, v := range p.InitRegs {
 		t.regs[r.FlatIndex()] = v
 	}
@@ -139,72 +144,73 @@ func (t *Thread) stateFP() uint64 {
 	return fp
 }
 
-// step executes one instruction functionally.
+// step executes one instruction functionally, driven entirely by the
+// pre-decoded template of the static instruction at pc.
 func (t *Thread) step() (Uop, bool) {
-	if t.done || t.pc < 0 || t.pc >= len(t.prog.Code) ||
+	if t.done || t.pc < 0 || t.pc >= len(t.tmpl) ||
 		(t.maxInstrs > 0 && t.seq >= t.maxInstrs) {
 		t.done = true
 		return Uop{}, false
 	}
-	in := &t.prog.Code[t.pc]
-	u := Uop{In: in, BarrierID: -1, Seq: t.seq}
+	tpl := &t.tmpl[t.pc]
+	u := Uop{In: tpl.in, tpl: tpl, BarrierID: -1, Seq: t.seq}
 	t.seq++
 
 	// Resolve address for memory-shaped ops.
 	var localAddr uint64
-	if in.MemBase.Valid() {
-		localAddr = (t.regs[in.MemBase.FlatIndex()].Lo + uint64(int64(in.MemDisp))) % uint64(len(t.mem))
+	if tpl.baseIdx >= 0 {
+		localAddr = (t.regs[tpl.baseIdx].Lo + tpl.disp) % uint64(len(t.mem))
 		localAddr &^= 15
 		u.Addr = t.globalBase + localAddr
 	}
 
 	var dstOld, src1, src2, memv isa.Value
-	if in.Op.DstIsSrc && in.Dst.Valid() {
-		dstOld = t.regs[in.Dst.FlatIndex()]
+	if tpl.dstIsSrc {
+		dstOld = t.regs[tpl.dstOldIdx]
 	}
-	if in.Src1.Valid() {
-		src1 = t.regs[in.Src1.FlatIndex()]
+	if tpl.src1Idx >= 0 {
+		src1 = t.regs[tpl.src1Idx]
 	}
-	if in.Src2.Valid() {
-		src2 = t.regs[in.Src2.FlatIndex()]
+	if tpl.src2Idx >= 0 {
+		src2 = t.regs[tpl.src2Idx]
 	}
 
-	switch in.Op.Class {
+	switch tpl.class {
 	case isa.ClassLoad:
 		memv = t.load(localAddr)
 	case isa.ClassStore:
 		t.store(localAddr, src1)
 	case isa.ClassBarrier:
-		u.BarrierID = in.Imm
+		u.BarrierID = tpl.barrierID
 	}
 
 	// Primary source for toggle accounting: prefer an explicit source,
 	// else the old destination, else the memory value.
-	switch {
-	case in.Src1.Valid():
+	switch tpl.srcASel {
+	case srcASrc1:
 		u.SrcA = src1
-	case in.Op.DstIsSrc && in.Dst.Valid():
+	case srcADstOld:
 		u.SrcA = dstOld
-	case in.Op.Class == isa.ClassLoad:
+	case srcAMem:
 		u.SrcA = memv
 	}
 
-	if in.Op.Class == isa.ClassBranch {
-		u.Taken = t.branchTaken(in)
-		u.BackBranch = in.Target <= t.pc
+	if tpl.branchKind != brNone {
+		u.Taken = tpl.branchKind != brCond || !t.zeroFlag
+		u.BackBranch = tpl.backBranch
 		if u.Taken {
-			t.pc = in.Target
+			t.pc = tpl.target
 		} else {
 			t.pc++
 		}
 		return u, true
 	}
 
-	res := isa.Exec(in, dstOld, src1, src2, t.globalBase+localAddr, memv)
+	res := tpl.exec(dstOld, src1, src2, t.globalBase+localAddr, memv)
 	u.Result = res
-	if d := in.Dest(); d.Valid() {
-		t.regs[d.FlatIndex()] = res
-		if d.Kind == isa.RegGPR && flagWriting(in.Op.Class) {
+	if tpl.dstIdx >= 0 {
+		t.regs[tpl.dstIdx] = res
+		if tpl.flagWrite {
 			t.zeroFlag = res.Lo == 0
 		}
 	}
@@ -220,16 +226,6 @@ func flagWriting(c isa.Class) bool {
 		return true
 	}
 	return false
-}
-
-func (t *Thread) branchTaken(in *isa.Instruction) bool {
-	switch in.Op.Name {
-	case "jmp":
-		return true
-	case "jnz":
-		return !t.zeroFlag
-	}
-	return true
 }
 
 func (t *Thread) load(addr uint64) isa.Value {

@@ -1,0 +1,34 @@
+// Package fsutil holds small filesystem helpers shared by the
+// checkpoint writer (internal/core) and the persistent trace store
+// (internal/tracestore) — packages that must not import each other.
+package fsutil
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes via a temp file in path's directory and
+// renames it into place, so readers (and crash recovery) only ever see
+// complete files.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

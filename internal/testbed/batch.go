@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the generation-batched evaluation pipeline: the GA hands
@@ -170,12 +171,17 @@ func (cp *CompiledPlatform) MeasureBatch(rcs []RunConfig, lanes, workers int) ([
 	runParallel(workers, len(missing), func(gi int) {
 		key := missing[gi]
 		members := groups[key]
-		tr, err := cp.buildTrace(rcs[members[0]])
-		if err != nil {
-			for _, i := range members {
-				errs[i] = err
+		tr := cp.storeLoad(key)
+		if tr == nil {
+			var err error
+			tr, err = cp.buildTrace(rcs[members[0]])
+			if err != nil {
+				for _, i := range members {
+					errs[i] = err
+				}
+				return
 			}
-			return
+			cp.storeSave(key, tr)
 		}
 		cp.traces.put(key, tr)
 		readyMu.Lock()
@@ -287,6 +293,7 @@ func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs 
 		ms[j.slot], errs[j.slot] = m, err
 		return
 	}
+	defer cp.traces.addReplayNS(time.Now())
 	p := cp.p
 	dt := p.Chip.CycleSeconds()
 	vNom := p.PDN.VNom

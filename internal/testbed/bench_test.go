@@ -3,6 +3,8 @@ package testbed
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/tracestore"
 )
 
 // benchRunConfig is the voltage-at-failure probe workload: a reduced
@@ -268,4 +270,62 @@ func BenchmarkMedianOfKReplay(b *testing.B) {
 
 	b.Run("Single", func(b *testing.B) { run(b, 1) })
 	b.Run("K5", func(b *testing.B) { run(b, 5) })
+}
+
+// BenchmarkTraceStoreWarmVsCold prices the persistent store's warm
+// start: ColdCapture rebuilds the chip trace every iteration (the
+// first-process cost), WarmStore serves the same trace from a
+// populated store directory (every later process's cost), and both
+// clear the in-memory cache so the disk path is actually exercised.
+// Phase 2 runs identically in both, so the gap isolates capture vs
+// deserialize+checksum.
+func BenchmarkTraceStoreWarmVsCold(b *testing.B) {
+	p := Bulldozer()
+
+	b.Run("ColdCapture", func(b *testing.B) {
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := benchRunConfig(b, p)
+		if _, err := cp.Run(rc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp.ClearTraceCache()
+			if _, err := cp.Run(rc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("WarmStore", func(b *testing.B) {
+		cp, err := p.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := tracestore.Open(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp.SetTraceStore(st)
+		rc := benchRunConfig(b, p)
+		if _, err := cp.Run(rc); err != nil { // capture once, write through
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp.ClearTraceCache()
+			if _, err := cp.Run(rc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if ts := cp.TraceStats(); ts.StoreHits < uint64(b.N) {
+			b.Fatalf("store hits %d < iterations %d: warm path not exercised", ts.StoreHits, b.N)
+		}
+	})
 }

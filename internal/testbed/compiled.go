@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/pdn"
+	"repro/internal/tracestore"
 )
 
 // CompiledPlatform is the evaluation fast path: the PDN system matrix
@@ -39,6 +40,12 @@ type CompiledPlatform struct {
 	// traces caches phase-1 chip traces keyed by traceKey, shared by
 	// every replay-eligible run of this platform.
 	traces traceCache
+
+	// store, when attached, persists traces across processes beneath
+	// the in-memory cache; storeSalt is the platform digest prefixed to
+	// every store key (see store.go).
+	store     *tracestore.Store
+	storeSalt []byte
 }
 
 // Compile validates the platform once and builds the shared immutable
@@ -154,10 +161,13 @@ func (cp *CompiledPlatform) runReplay(rc RunConfig) (*Measurement, error) {
 	}
 	tr := cp.traces.get(key)
 	if tr == nil {
-		var err error
-		tr, err = cp.buildTrace(rc)
-		if err != nil {
-			return nil, err
+		if tr = cp.storeLoad(key); tr == nil {
+			var err error
+			tr, err = cp.buildTrace(rc)
+			if err != nil {
+				return nil, err
+			}
+			cp.storeSave(key, tr)
 		}
 		cp.traces.put(key, tr)
 	}

@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/scope"
@@ -162,6 +163,7 @@ func (f *replayFold) finish(tr *chipTrace, N uint64, dt float64) {
 
 // replay reconstructs the Measurement for rc from a recorded trace.
 func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, error) {
+	defer cp.traces.addReplayNS(time.Now())
 	p := cp.p
 	dt := p.Chip.CycleSeconds()
 	vNom := p.PDN.VNom

@@ -1,0 +1,134 @@
+package testbed
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/tracestore"
+)
+
+// This file bridges the compiled platform's in-memory trace cache to
+// the persistent store (internal/tracestore). The store sits strictly
+// below the FIFO: a lookup consults memory first, then disk, and only
+// then runs phase 1; fresh captures are written through. Records are
+// keyed by the full trace key salted with a platform digest, so two
+// platforms (or two binaries with different chip/power calibrations)
+// sharing one store directory can never serve each other's traces.
+
+// platformDigest fingerprints everything trace content depends on
+// beyond the trace key: the chip configuration and the power model
+// (both flat scalar structs, so %#v is canonical). Changes to the
+// trace semantics themselves are covered by the store's format
+// version, which must be bumped whenever capture output changes
+// meaning without changing these structs.
+func platformDigest(p Platform) []byte {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v\x00%#v", p.Chip, p.Power)))
+	return sum[:]
+}
+
+// SetTraceStore attaches a persistent trace store beneath the
+// in-memory cache. Call before the platform is shared across
+// goroutines (alongside SetTraceCacheLimit); a nil store detaches.
+func (cp *CompiledPlatform) SetTraceStore(s *tracestore.Store) {
+	cp.store = s
+	cp.storeSalt = nil
+	if s != nil {
+		cp.storeSalt = platformDigest(cp.p)
+	}
+}
+
+// TraceStore returns the attached persistent store, or nil.
+func (cp *CompiledPlatform) TraceStore() *tracestore.Store { return cp.store }
+
+func (cp *CompiledPlatform) storeKeyBytes(key string) []byte {
+	b := make([]byte, 0, len(cp.storeSalt)+len(key))
+	b = append(b, cp.storeSalt...)
+	return append(b, key...)
+}
+
+// storeLoad consults the persistent store for a trace missing from
+// memory. Any store-side failure is a miss; nil means "capture it".
+func (cp *CompiledPlatform) storeLoad(key string) *chipTrace {
+	if cp.store == nil {
+		return nil
+	}
+	rec, ok := cp.store.Get(cp.storeKeyBytes(key))
+	if !ok {
+		cp.traces.noteStore(false)
+		return nil
+	}
+	cp.traces.noteStore(true)
+	return traceFromRecord(rec)
+}
+
+// storeSave writes a fresh capture through to the persistent store,
+// best-effort: a full disk or unwritable directory costs nothing but
+// the warm start.
+func (cp *CompiledPlatform) storeSave(key string, tr *chipTrace) {
+	if cp.store == nil {
+		return
+	}
+	cp.store.Put(cp.storeKeyBytes(key), recordFromTrace(tr))
+}
+
+func statsToWords(s cpu.Stats) [8]uint64 {
+	return [8]uint64{s.Branches, s.Mispredicts, s.L1Hits, s.L1Misses,
+		s.L2Hits, s.L2Misses, s.L3Hits, s.L3Misses}
+}
+
+func statsFromWords(w [8]uint64) cpu.Stats {
+	return cpu.Stats{Branches: w[0], Mispredicts: w[1], L1Hits: w[2], L1Misses: w[3],
+		L2Hits: w[4], L2Misses: w[5], L3Hits: w[6], L3Misses: w[7]}
+}
+
+// recordFromTrace flattens a chipTrace for storage. The trace is
+// immutable, so the record may alias its slices.
+func recordFromTrace(tr *chipTrace) *tracestore.Record {
+	return &tracestore.Record{
+		Energy:      tr.energy,
+		Issues:      tr.issues,
+		Done:        tr.done,
+		Unsupported: tr.unsupported,
+		Periodic:    tr.periodic,
+		HeadLen:     tr.headLen,
+		PeriodLen:   tr.periodLen,
+		EndStats:    statsToWords(tr.endStats),
+		RefStats:    statsToWords(tr.refStats),
+		PerStats:    statsToWords(tr.perStats),
+		EndRetired:  tr.endRetired,
+		RefRetired:  tr.refRetired,
+		PerRetired:  tr.perRetired,
+	}
+}
+
+// traceFromRecord rebuilds a replayable chipTrace. The pre-aggregated
+// period totals are recomputed with acceptPeriod's exact summation
+// order, so a loaded trace replays bit-identically to the capture that
+// wrote it.
+func traceFromRecord(rec *tracestore.Record) *chipTrace {
+	tr := &chipTrace{
+		energy:      rec.Energy,
+		issues:      rec.Issues,
+		done:        rec.Done,
+		unsupported: rec.Unsupported,
+	}
+	if rec.Periodic {
+		tr.periodic = true
+		tr.headLen, tr.periodLen = rec.HeadLen, rec.PeriodLen
+		tr.refStats, tr.refRetired = statsFromWords(rec.RefStats), rec.RefRetired
+		tr.perStats, tr.perRetired = statsFromWords(rec.PerStats), rec.PerRetired
+		for _, e := range tr.energy[tr.headLen:] {
+			tr.periodEnergy += e
+		}
+		for _, q := range tr.issues[tr.headLen:] {
+			for u := 0; u < int(isa.NumUnits); u++ {
+				tr.periodIssues[u] += (q >> (8 * uint(u))) & 0xff
+			}
+		}
+	} else {
+		tr.endStats, tr.endRetired = statsFromWords(rec.EndStats), rec.EndRetired
+	}
+	return tr
+}

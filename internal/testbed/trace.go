@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/cpu"
@@ -243,6 +244,7 @@ func mix64(h, v uint64) uint64 {
 // start-skew stalls, Done check, dither injections, Step — so a replay
 // of the trace is bit-identical to the exact loop.
 func (cp *CompiledPlatform) buildTrace(rc RunConfig) (*chipTrace, error) {
+	defer cp.traces.addCaptureNS(time.Now())
 	chip, err := cp.getChip()
 	if err != nil {
 		return nil, err
@@ -402,6 +404,15 @@ type TraceStats struct {
 	// and LaneBatches the passes themselves, so LaneRuns/LaneBatches is
 	// the mean lane occupancy the pipeline achieved.
 	LaneRuns, LaneBatches uint64
+	// StoreHits and StoreMisses count persistent trace-store lookups —
+	// consulted only when the in-memory cache misses and a store is
+	// attached (SetTraceStore). A store hit skips phase 1 entirely.
+	StoreHits, StoreMisses uint64
+	// CaptureNS and ReplayNS split the fast path's wall time between
+	// phase-1 capture (buildTrace) and phase-2 PDN replay, in
+	// nanoseconds summed across workers. Wall-clock derived: excluded
+	// from any deterministic output.
+	CaptureNS, ReplayNS uint64
 	// Bytes is the cache's current footprint.
 	Bytes int
 }
@@ -430,6 +441,8 @@ type traceCache struct {
 
 	hits, misses, memoHits, earlyExits uint64
 	batchRuns, laneRuns, laneBatches   uint64
+	storeHits, storeMisses             uint64
+	captureNS, replayNS                uint64
 }
 
 func (tc *traceCache) get(key string) *chipTrace {
@@ -503,6 +516,35 @@ func (tc *traceCache) noteLaneBatch(n int) {
 	tc.mu.Unlock()
 }
 
+// noteStore records one persistent-store lookup.
+func (tc *traceCache) noteStore(hit bool) {
+	tc.mu.Lock()
+	if hit {
+		tc.storeHits++
+	} else {
+		tc.storeMisses++
+	}
+	tc.mu.Unlock()
+}
+
+// addCaptureNS charges elapsed time since start to phase-1 capture.
+// Used as `defer tc.addCaptureNS(time.Now())` so the argument pins the
+// start time when the defer is queued.
+func (tc *traceCache) addCaptureNS(start time.Time) {
+	d := uint64(time.Since(start).Nanoseconds())
+	tc.mu.Lock()
+	tc.captureNS += d
+	tc.mu.Unlock()
+}
+
+// addReplayNS charges elapsed time since start to phase-2 replay.
+func (tc *traceCache) addReplayNS(start time.Time) {
+	d := uint64(time.Since(start).Nanoseconds())
+	tc.mu.Lock()
+	tc.replayNS += d
+	tc.mu.Unlock()
+}
+
 // getResult looks up a memoized finished measurement. A hit counts as
 // a cache hit (the run was served from cache, just further along the
 // pipeline than a trace hit). Measurement holds no reference types
@@ -541,7 +583,9 @@ func (tc *traceCache) stats() TraceStats {
 	defer tc.mu.Unlock()
 	s := TraceStats{Hits: tc.hits, Misses: tc.misses, MemoHits: tc.memoHits,
 		PDNEarlyExits: tc.earlyExits, BatchRuns: tc.batchRuns,
-		LaneRuns: tc.laneRuns, LaneBatches: tc.laneBatches, Bytes: tc.used}
+		LaneRuns: tc.laneRuns, LaneBatches: tc.laneBatches,
+		StoreHits: tc.storeHits, StoreMisses: tc.storeMisses,
+		CaptureNS: tc.captureNS, ReplayNS: tc.replayNS, Bytes: tc.used}
 	for _, tr := range tc.m {
 		if tr.periodic {
 			s.Periodic++

@@ -1,0 +1,336 @@
+// Package tracestore is a persistent, content-addressed store for
+// phase-1 chip traces. Each record lives in its own file named by the
+// SHA-256 of the caller's key bytes, serialized in a checksummed flat
+// binary format and written atomically, so concurrent processes can
+// share one store directory: writers race benignly (same key ⇒ same
+// bytes; last rename wins) and readers only ever see complete files.
+//
+// The store is an optimisation layer, never a source of truth: any
+// file that is missing, truncated, version-skewed or checksum-corrupt
+// reads as a cache miss, and write failures are surfaced but safe to
+// ignore. Total size is byte-bounded; when a write pushes the
+// directory over budget, the records with the oldest mtimes are
+// evicted (Get refreshes mtime, making eviction approximately LRU).
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fsutil"
+)
+
+// DefaultMaxBytes bounds a store opened with maxBytes <= 0.
+const DefaultMaxBytes = 256 << 20
+
+// magic identifies the file format; bump the trailing version digit on
+// any serialization change and old files degrade to misses.
+const magic = "AUDTRC1\n"
+
+// recordExt suffixes every record file; other names in the directory
+// (temp files mid-rename, stray files) are ignored by eviction.
+const recordExt = ".trace"
+
+// fixedCounters is the number of uint64 counter slots in a record's
+// fixed section: 3 stats blocks of 8 plus 3 retired counters.
+const fixedCounters = 3*statsWords + 3
+
+// statsWords is the per-block width of the chip-counter triples.
+const statsWords = 8
+
+// Record is the portable form of one phase-1 trace. The stats blocks
+// are flat uint64 words so the store stays decoupled from the cpu
+// package's struct layout; callers own the mapping.
+type Record struct {
+	Energy []float64
+	Issues []uint64
+
+	Done        bool
+	Unsupported bool
+	Periodic    bool
+
+	HeadLen   int
+	PeriodLen int
+
+	EndStats [statsWords]uint64
+	RefStats [statsWords]uint64
+	PerStats [statsWords]uint64
+
+	EndRetired uint64
+	RefRetired uint64
+	PerRetired uint64
+}
+
+// Store is a byte-bounded directory of records. Safe for concurrent
+// use by multiple goroutines and, at the filesystem level, multiple
+// processes.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	// evictMu serialises the eviction scan so concurrent Puts don't
+	// double-delete; cross-process races just make os.Remove a no-op.
+	evictMu sync.Mutex
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+// maxBytes <= 0 selects DefaultMaxBytes.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("tracestore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Store{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps key bytes to the record's content address.
+func (s *Store) path(key []byte) string {
+	sum := sha256.Sum256(key)
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+recordExt)
+}
+
+// Get loads the record stored under key. Every failure mode — absent,
+// truncated, corrupt, foreign version — returns (nil, false); the
+// caller rebuilds and overwrites. A hit refreshes the file's mtime so
+// byte-budget eviction approximates LRU.
+func (s *Store) Get(key []byte) (*Record, bool) {
+	p := s.path(key)
+	blob, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	rec, ok := decode(blob)
+	if !ok {
+		// A corrupt record will never read successfully again; drop it
+		// so it stops charging the byte budget.
+		os.Remove(p)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(p, now, now) // best-effort; eviction order only
+	return rec, true
+}
+
+// Put stores rec under key, atomically, then enforces the byte budget.
+// Failures leave the store no worse than before; callers treating the
+// store as a cache may ignore the error.
+func (s *Store) Put(key []byte, rec *Record) error {
+	blob := encode(rec)
+	if int64(len(blob)) > s.maxBytes {
+		return fmt.Errorf("tracestore: record (%d bytes) exceeds store budget", len(blob))
+	}
+	err := fsutil.WriteFileAtomic(s.path(key), func(w io.Writer) error {
+		_, werr := w.Write(blob)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	s.evict(s.path(key))
+	return nil
+}
+
+// Len reports the number of resident records (testing aid).
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == recordExt {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes reports the store's current on-disk footprint (record
+// files only).
+func (s *Store) SizeBytes() int64 {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != recordExt {
+			continue
+		}
+		if info, ierr := e.Info(); ierr == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// evict removes oldest-mtime records until the store fits its budget,
+// sparing the just-written file so a Put can never evict itself.
+func (s *Store) evict(spare string) {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type rf struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []rf
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != recordExt {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue
+		}
+		files = append(files, rf{filepath.Join(s.dir, e.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if f.path == spare {
+			continue
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+}
+
+// encode serialises rec: magic, fixed-width header, the two per-cycle
+// arrays, and a trailing FNV-1a checksum over everything before it.
+func encode(rec *Record) []byte {
+	n := len(rec.Energy)
+	size := len(magic) + 8 /*flags*/ + 8 + 8 /*head,period*/ +
+		8*fixedCounters + 8 /*n*/ + 16*n + 8 /*checksum*/
+	b := make([]byte, 0, size)
+	b = append(b, magic...)
+	var flags uint64
+	if rec.Done {
+		flags |= 1 << 0
+	}
+	if rec.Unsupported {
+		flags |= 1 << 1
+	}
+	if rec.Periodic {
+		flags |= 1 << 2
+	}
+	b = appendU64(b, flags)
+	b = appendU64(b, uint64(rec.HeadLen))
+	b = appendU64(b, uint64(rec.PeriodLen))
+	for _, blk := range [][statsWords]uint64{rec.EndStats, rec.RefStats, rec.PerStats} {
+		for _, v := range blk {
+			b = appendU64(b, v)
+		}
+	}
+	b = appendU64(b, rec.EndRetired)
+	b = appendU64(b, rec.RefRetired)
+	b = appendU64(b, rec.PerRetired)
+	b = appendU64(b, uint64(n))
+	for _, e := range rec.Energy {
+		b = appendU64(b, math.Float64bits(e))
+	}
+	for _, q := range rec.Issues {
+		b = appendU64(b, q)
+	}
+	return appendU64(b, fnv1a(b))
+}
+
+// decode is encode's inverse; ok is false on any structural or
+// checksum mismatch.
+func decode(blob []byte) (*Record, bool) {
+	minLen := len(magic) + 8*(3+fixedCounters) + 8 + 8
+	if len(blob) < minLen || string(blob[:len(magic)]) != magic {
+		return nil, false
+	}
+	body, sum := blob[:len(blob)-8], binary.LittleEndian.Uint64(blob[len(blob)-8:])
+	if fnv1a(body) != sum {
+		return nil, false
+	}
+	r := body[len(magic):]
+	next := func() uint64 {
+		v := binary.LittleEndian.Uint64(r)
+		r = r[8:]
+		return v
+	}
+	rec := &Record{}
+	flags := next()
+	rec.Done = flags&(1<<0) != 0
+	rec.Unsupported = flags&(1<<1) != 0
+	rec.Periodic = flags&(1<<2) != 0
+	rec.HeadLen = int(next())
+	rec.PeriodLen = int(next())
+	for _, blk := range []*[statsWords]uint64{&rec.EndStats, &rec.RefStats, &rec.PerStats} {
+		for i := range blk {
+			blk[i] = next()
+		}
+	}
+	rec.EndRetired = next()
+	rec.RefRetired = next()
+	rec.PerRetired = next()
+	n := next()
+	if n > uint64(len(r))/16 {
+		return nil, false // truncated arrays
+	}
+	if len(r) != int(16*n) {
+		return nil, false // trailing garbage
+	}
+	rec.Energy = make([]float64, n)
+	rec.Issues = make([]uint64, n)
+	for i := range rec.Energy {
+		rec.Energy[i] = math.Float64frombits(next())
+	}
+	for i := range rec.Issues {
+		rec.Issues[i] = next()
+	}
+	if rec.Periodic && (rec.HeadLen < 0 || rec.PeriodLen <= 0 ||
+		rec.HeadLen+rec.PeriodLen != len(rec.Energy)) {
+		return nil, false // inconsistent periodic decomposition
+	}
+	return rec, true
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], v)
+	return append(b, w[:]...)
+}
+
+// fnv1a is the 64-bit FNV-1a hash, matching the repo's other
+// fingerprint hashes; cheap and adequate for corruption detection.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

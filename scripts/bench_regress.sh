@@ -10,12 +10,38 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Every benchmark the gate covers. A rename or deletion must show up
+# here as a hard failure, not silently shrink the gate.
+gated=(
+  BenchmarkCaptureHotLoop
+  BenchmarkEvalColdVsCompiled
+  BenchmarkGARunMemoized
+  BenchmarkGenerationBatch
+  BenchmarkMeasureExactVsReplay
+  BenchmarkMedianOfKReplay
+  BenchmarkStepTrace
+  BenchmarkTraceStoreWarmVsCold
+)
+pattern="$(IFS='|'; echo "${gated[*]}")"
+
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEvalColdVsCompiled|BenchmarkGARunMemoized|BenchmarkGenerationBatch|BenchmarkMeasureExactVsReplay|BenchmarkMedianOfKReplay|BenchmarkStepTrace' \
+go test -run '^$' -bench "$pattern" \
   -benchmem -benchtime "${BENCHTIME:-2s}" -count=1 \
-  ./internal/testbed/ ./internal/core/ ./internal/pdn/ | tee "$out"
+  ./internal/cpu/ ./internal/testbed/ ./internal/core/ ./internal/pdn/ | tee "$out"
+
+missing=0
+for b in "${gated[@]}"; do
+  if ! grep -q "^${b}[/[:space:]-]" "$out"; then
+    echo "bench_regress: gated benchmark ${b} produced no result (renamed or deleted?)" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "bench_regress: refusing to ${1:---diff} with an incomplete benchmark set" >&2
+  exit 1
+fi
 
 if [ "${1:-}" = "--capture" ]; then
   go run ./cmd/benchdiff -capture BENCH_eval.json \

@@ -19,6 +19,7 @@
 //	-o          write the stressmark assembly to this file
 //	-obj        write the binary object image to this file
 //	-save       write the finished stressmark (winner + population) here
+//	-corpus-add harvest the finished stressmark into this corpus dir
 //	-checkpoint write a mid-search checkpoint here every generation
 //	-resume     continue from a -checkpoint or -save file
 //	-faults     inject lab faults at this transient rate (0 = off)
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	"repro/audit"
+	"repro/internal/corpus"
 	"repro/internal/report"
 )
 
@@ -61,6 +63,7 @@ type cliOptions struct {
 	seed                   int64
 	outAsm, outObj, saveTo string
 	checkpoint, resume     string
+	corpusAdd              string
 	faultRate              float64
 	hetero                 bool
 	exact                  bool
@@ -84,6 +87,7 @@ func main() {
 	flag.StringVar(&c.outAsm, "o", "", "write NASM-style assembly here")
 	flag.StringVar(&c.outObj, "obj", "", "write binary object image here")
 	flag.StringVar(&c.saveTo, "save", "", "write the finished stressmark (winner + population) here")
+	flag.StringVar(&c.corpusAdd, "corpus-add", "", "harvest the finished stressmark into this corpus directory (see cmd/corpus)")
 	flag.StringVar(&c.checkpoint, "checkpoint", "", "write a mid-search checkpoint here every generation")
 	flag.StringVar(&c.resume, "resume", "", "resume from a -checkpoint or -save file")
 	flag.Float64Var(&c.faultRate, "faults", 0, "inject lab faults at this transient rate (0 = off)")
@@ -217,6 +221,9 @@ func run(ctx context.Context, c cliOptions) error {
 	}
 
 	if c.hetero {
+		if c.corpusAdd != "" {
+			return fmt.Errorf("-corpus-add records homogeneous stressmarks only (not -hetero)")
+		}
 		return runHetero(ctx, c, plat, opts, injectorStats(&injector))
 	}
 
@@ -274,6 +281,11 @@ func run(ctx context.Context, c cliOptions) error {
 		}
 		fmt.Println("stressmark written to", c.saveTo)
 	}
+	if c.corpusAdd != "" {
+		if err := depositCorpus(c, plat, sm); err != nil {
+			return err
+		}
+	}
 	if c.outAsm == "" {
 		fmt.Println("\n--- generated stressmark ---")
 		fmt.Print(sm.Program.Text())
@@ -317,6 +329,37 @@ func runHetero(ctx context.Context, c cliOptions, plat audit.Platform, opts audi
 		}
 		fmt.Printf("per-thread assembly written to %s.t*\n", c.outAsm)
 	}
+	if c.saveTo != "" {
+		if err := hsm.SaveFile(c.saveTo); err != nil {
+			return err
+		}
+		fmt.Println("stressmark written to", c.saveTo)
+	}
+	return nil
+}
+
+// depositCorpus harvests the finished stressmark into the regression
+// corpus: a fresh baseline measurement on a clean compiled platform,
+// stamped with its digest (see cmd/corpus for replaying it in CI).
+func depositCorpus(c cliOptions, plat audit.Platform, sm *audit.Stressmark) error {
+	db, err := corpus.Open(c.corpusAdd)
+	if err != nil {
+		return err
+	}
+	cp, err := audit.Compile(plat)
+	if err != nil {
+		return err
+	}
+	e, err := corpus.Harvest(cp, c.platform, sm, corpus.HarvestConfig{})
+	if err != nil {
+		return err
+	}
+	path, err := db.Add(e)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus entry written to %s (droop baseline %s)\n",
+		path, report.MilliVolts(e.Expected.DroopV))
 	return nil
 }
 

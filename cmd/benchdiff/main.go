@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -92,9 +93,9 @@ func main() {
 // parse extracts benchmark lines from `go test -bench` output. The
 // trailing -N (GOMAXPROCS) suffix is stripped so results compare
 // across machines with different core counts.
-func parse(f *os.File) (map[string]Entry, error) {
+func parse(r io.Reader) (map[string]Entry, error) {
 	out := map[string]Entry{}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkGARunMemoized-8   	      12	  95000000 ns/op	 1200000 B/op	    8000 allocs/op
+BenchmarkEvalReplay-16     	    5000	    240000 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkNoMem             	    1000	   1000000 ns/op
+some unrelated line
+PASS
+ok  	repro/internal/core	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// The -N GOMAXPROCS suffix must be stripped so baselines compare
+	// across machines.
+	e, ok := got["BenchmarkGARunMemoized"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if e.NsPerOp != 95000000 || e.BytesPerOp != 1200000 || e.AllocsPerOp != 8000 {
+		t.Errorf("entry mis-parsed: %+v", e)
+	}
+	// A benchmark without -benchmem columns still parses its timing.
+	if e := got["BenchmarkNoMem"]; e.NsPerOp != 1000000 || e.AllocsPerOp != 0 {
+		t.Errorf("timing-only line mis-parsed: %+v", e)
+	}
+}
+
+func TestParseIgnoresNonBenchmarkLines(t *testing.T) {
+	got, err := parse(strings.NewReader("PASS\nok\nBenchmarkBroken abc def\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("nonsense lines produced entries: %v", got)
+	}
+}
+
+// TestDiffFailsOnMissingBaseline pins the failure mode the gate grew in
+// PR 5: a baseline benchmark absent from the current run (renamed,
+// deleted, or filtered out of the bench pattern) must fail the diff —
+// otherwise a regression can hide by making its benchmark disappear.
+func TestDiffFailsOnMissingBaseline(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkKept":    {NsPerOp: 100},
+		"BenchmarkDropped": {NsPerOp: 100},
+	}
+	got := map[string]Entry{
+		"BenchmarkKept": {NsPerOp: 100},
+	}
+	if !diff(base, got, 0.25, 0.02) {
+		t.Error("missing baseline benchmark did not fail the diff")
+	}
+	// With the benchmark restored, the same numbers pass.
+	got["BenchmarkDropped"] = Entry{NsPerOp: 100}
+	if diff(base, got, 0.25, 0.02) {
+		t.Error("clean run failed the diff")
+	}
+}
+
+func TestDiffDetectsRegressions(t *testing.T) {
+	base := map[string]Entry{"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 100}}
+
+	slow := map[string]Entry{"BenchmarkX": {NsPerOp: 126, AllocsPerOp: 100}}
+	if !diff(base, slow, 0.25, 0.02) {
+		t.Error("26% ns/op growth passed a 25% gate")
+	}
+	ok := map[string]Entry{"BenchmarkX": {NsPerOp: 124, AllocsPerOp: 100}}
+	if diff(base, ok, 0.25, 0.02) {
+		t.Error("24% ns/op growth failed a 25% gate")
+	}
+	allocs := map[string]Entry{"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 103}}
+	if !diff(base, allocs, 0.25, 0.02) {
+		t.Error("3% allocs/op growth passed a 2% gate")
+	}
+}
+
+// TestDiffAllowsNewBenchmarks: a benchmark present only in the current
+// run is informational, not a failure — gates grow monotonically.
+func TestDiffAllowsNewBenchmarks(t *testing.T) {
+	base := map[string]Entry{"BenchmarkX": {NsPerOp: 100}}
+	got := map[string]Entry{
+		"BenchmarkX":   {NsPerOp: 100},
+		"BenchmarkNew": {NsPerOp: 999999},
+	}
+	if diff(base, got, 0.25, 0.02) {
+		t.Error("new benchmark failed the diff")
+	}
+}

@@ -1,0 +1,319 @@
+// Command corpus manages the versioned stressmark corpus: a
+// file-per-entry database of discovered stressmarks with baselined
+// measurements, replayed in CI to catch unexplained result drift.
+//
+// Usage:
+//
+//	corpus ls    -db <dir>
+//	corpus add   -db <dir> -platform <name> [flags] <stressmark.json>...
+//	corpus run   -db <dir> [-lanes N] [-workers N] [-skip-failure] [-v]
+//	corpus redux -db <dir> [-skip-failure]
+//
+// add harvests saved stressmarks (cmd/audit -save files) into baselined
+// entries. run replays every entry and exits nonzero unless all pass:
+// DRIFT means the platform description is unchanged but results moved —
+// some code path altered the numbers, which is exactly what the corpus
+// exists to catch. platform-skew means the platform description itself
+// changed; if that was intentional, redux re-baselines every entry
+// in place (same files, new expectations and digests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/report"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "add":
+		err = cmdAdd(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "redux":
+		err = cmdRedux(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "corpus: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  corpus ls    -db <dir>                                 list entries
+  corpus add   -db <dir> -platform <name> <sm.json>...   harvest saved stressmarks
+  corpus run   -db <dir> [-skip-failure] [-v]            replay and verify
+  corpus redux -db <dir> [-skip-failure]                 re-baseline in place`)
+}
+
+func openDB(dir string) (*corpus.DB, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-db is required")
+	}
+	return corpus.Open(dir)
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	dir := fs.String("db", "", "corpus directory")
+	fs.Parse(args)
+	db, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := db.Load()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("corpus is empty")
+		return nil
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("corpus %s (%d entries)", db.Dir(), len(entries)),
+		Headers: []string{"id", "name", "platform", "T", "loop", "droop (mV)", "tol (mV)", "fail V", "digest"},
+	}
+	for _, e := range entries {
+		fail := "-"
+		if e.Expected.FailFloor > 0 {
+			if e.Expected.FailFound {
+				fail = report.F(e.Expected.FailVolts, 4)
+			} else {
+				fail = fmt.Sprintf(">%s", report.F(e.Expected.FailFloor, 3))
+			}
+		}
+		tol := "exact"
+		if e.Expected.DroopTolV > 0 {
+			tol = report.F(e.Expected.DroopTolV*1e3, 2)
+		}
+		tbl.AddRow(e.ID, e.Name, e.Platform, fmt.Sprint(e.Threads), fmt.Sprint(e.LoopCycles),
+			report.F(e.Expected.DroopV*1e3, 2), tol, fail, e.PlatformDigest[:12])
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func cmdAdd(args []string) error {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	dir := fs.String("db", "", "corpus directory")
+	platform := fs.String("platform", "bulldozer", "platform the stressmarks were trained on")
+	name := fs.String("name", "", "entry name override (single input only)")
+	measure := fs.Uint64("measure", 0, "baseline measurement cycles (0 = default)")
+	warmup := fs.Uint64("warmup", 0, "baseline warmup cycles (0 = default)")
+	tol := fs.Float64("tol", 0, "droop tolerance in volts (0 = bit-exact)")
+	failFloor := fs.Float64("fail-floor", 0, "also baseline the failure ladder down to this supply (0 = off)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("add: no stressmark files given")
+	}
+	if *name != "" && fs.NArg() > 1 {
+		return fmt.Errorf("add: -name only applies to a single input")
+	}
+	db, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	p, err := corpus.ResolvePlatform(*platform)
+	if err != nil {
+		return err
+	}
+	cp, err := p.Compile()
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sm, _, err := core.LoadStressmark(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		e, err := corpus.Harvest(cp, *platform, sm, corpus.HarvestConfig{
+			Name:          *name,
+			MeasureCycles: *measure,
+			WarmupCycles:  *warmup,
+			DroopTolV:     *tol,
+			FailFloor:     *failFloor,
+		})
+		if err != nil {
+			return err
+		}
+		dst, err := db.Add(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added %s: droop %s -> %s\n", e.Name, report.MilliVolts(e.Expected.DroopV), dst)
+	}
+	return nil
+}
+
+// byPlatform groups entries so each platform is compiled (and its
+// entries batch-measured) once.
+func byPlatform(entries []*corpus.Entry) map[string][]*corpus.Entry {
+	out := make(map[string][]*corpus.Entry)
+	for _, e := range entries {
+		out[e.Platform] = append(out[e.Platform], e)
+	}
+	return out
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	dir := fs.String("db", "", "corpus directory")
+	lanes := fs.Int("lanes", 0, "replay lanes per batch (0 = default)")
+	workers := fs.Int("workers", 0, "batch workers (0 = default)")
+	skipFailure := fs.Bool("skip-failure", false, "skip voltage-at-failure ladders")
+	verbose := fs.Bool("v", false, "print per-entry results even when all pass")
+	fs.Parse(args)
+	db, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := db.Load()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("corpus %s is empty", db.Dir())
+	}
+	opt := corpus.ReplayOptions{Lanes: *lanes, Workers: *workers, SkipFailure: *skipFailure}
+
+	bad := 0
+	for platform, group := range byPlatform(entries) {
+		p, err := corpus.ResolvePlatform(platform)
+		if err != nil {
+			return err
+		}
+		cp, err := p.Compile()
+		if err != nil {
+			return err
+		}
+		for _, r := range corpus.Replay(cp, group, opt) {
+			if r.Verdict != corpus.Pass {
+				bad++
+			}
+			if r.Verdict != corpus.Pass || *verbose {
+				printResult(r)
+			}
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d/%d entries did not pass (platform-skew from an intentional change? re-baseline with `corpus redux`)",
+			bad, len(entries))
+	}
+	fmt.Printf("corpus: %d entries replayed, all pass\n", len(entries))
+	return nil
+}
+
+func printResult(r corpus.Result) {
+	line := fmt.Sprintf("%-14s %-24s %-9s", r.Verdict, r.Entry.Name, r.Entry.Platform)
+	if r.Measured != nil {
+		line += fmt.Sprintf(" droop %s (baseline %s)",
+			report.MilliVolts(r.Measured.MaxDroopV), report.MilliVolts(r.Entry.Expected.DroopV))
+	}
+	if r.Detail != "" {
+		line += ": " + r.Detail
+	}
+	fmt.Println(line)
+}
+
+// cmdRedux re-baselines every entry on its platform's current
+// behaviour: same identity (and therefore the same file), fresh
+// expectations and platform digest. Run it only after an intentional
+// platform or simulator change, and commit the diff for review — the
+// point of the corpus is that re-baselining is visible, not automatic.
+func cmdRedux(args []string) error {
+	fs := flag.NewFlagSet("redux", flag.ExitOnError)
+	dir := fs.String("db", "", "corpus directory")
+	skipFailure := fs.Bool("skip-failure", false, "drop failure-ladder baselines instead of re-running them")
+	fs.Parse(args)
+	db, err := openDB(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := db.Load()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("corpus %s is empty", db.Dir())
+	}
+	for platform, group := range byPlatform(entries) {
+		p, err := corpus.ResolvePlatform(platform)
+		if err != nil {
+			return err
+		}
+		cp, err := p.Compile()
+		if err != nil {
+			return err
+		}
+		digest := testbed.PlatformDigest(p)
+		for _, e := range group {
+			old := e.Expected
+			if err := rebaseline(cp, e, *skipFailure); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+			e.PlatformDigest = digest
+			if _, err := db.Add(e); err != nil {
+				return err
+			}
+			fmt.Printf("redux %-24s droop %s -> %s\n", e.Name,
+				report.MilliVolts(old.DroopV), report.MilliVolts(e.Expected.DroopV))
+		}
+	}
+	return nil
+}
+
+// rebaseline refreshes an entry's expectations from a fresh
+// measurement, preserving its tolerance policy and ladder floor.
+func rebaseline(cp *testbed.CompiledPlatform, e *corpus.Entry, skipFailure bool) error {
+	rc, err := e.RunConfig(cp.Platform().Chip)
+	if err != nil {
+		return err
+	}
+	m, err := cp.Run(rc)
+	if err != nil {
+		return err
+	}
+	floor := e.Expected.FailFloor
+	e.Expected = corpus.Expected{
+		DroopV:      m.MaxDroopV,
+		DroopTolV:   e.Expected.DroopTolV,
+		MinV:        m.MinV,
+		AvgPowerW:   m.AvgPowerW,
+		Fingerprint: corpus.Fingerprint(m),
+	}
+	if floor > 0 && !skipFailure {
+		v, found, err := cp.FindFailureVoltage(rc, floor)
+		if err != nil {
+			return err
+		}
+		e.Expected.FailFloor = floor
+		e.Expected.FailVolts = v
+		e.Expected.FailFound = found
+	}
+	return nil
+}

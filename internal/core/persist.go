@@ -21,6 +21,7 @@ type savedStressmark struct {
 	Threads    int       `json:"threads"`
 	LoopCycles int       `json:"loop_cycles"`
 	Mode       int       `json:"mode"`
+	FPThrottle int       `json:"fp_throttle,omitempty"`
 	DroopV     float64   `json:"droop_v"`
 	Genome     Genome    `json:"genome"`
 	Population []Genome  `json:"population,omitempty"`
@@ -47,6 +48,7 @@ func (sm *Stressmark) Save(w io.Writer) error {
 		Threads:    sm.Threads,
 		LoopCycles: sm.LoopCycles,
 		Mode:       int(sm.Mode),
+		FPThrottle: sm.FPThrottle,
 		DroopV:     sm.DroopV,
 		Genome:     sm.Genome,
 		Program:    base64.StdEncoding.EncodeToString(blob),
@@ -84,11 +86,108 @@ func LoadStressmark(r io.Reader) (*Stressmark, []Genome, error) {
 		Threads:    in.Threads,
 		LoopCycles: in.LoopCycles,
 		Mode:       Mode(in.Mode),
+		FPThrottle: in.FPThrottle,
 		DroopV:     in.DroopV,
 		Genome:     in.Genome,
 		Program:    prog,
 	}
 	return sm, in.Population, nil
+}
+
+// savedHetero is the JSON wire form of a heterogeneous stressmark: one
+// genome and one program image per thread, placement order.
+type savedHetero struct {
+	Version  int      `json:"version"`
+	Kind     string   `json:"kind"`
+	Name     string   `json:"name"`
+	Threads  int      `json:"threads"`
+	DroopV   float64  `json:"droop_v"`
+	Genomes  []Genome `json:"genomes"`
+	Programs []string `json:"programs"`
+	// Population holds the final GA population for seeding a follow-up
+	// search (each member is one genome per thread).
+	Population []HeteroGenome `json:"population,omitempty"`
+	History    []float64      `json:"history,omitempty"`
+}
+
+const heteroKind = "audit-hetero-stressmark"
+
+// Save serialises the heterogeneous stressmark — per-thread winners,
+// program images and, when the search result is attached, the final
+// population — to w.
+func (h *HeteroStressmark) Save(w io.Writer) error {
+	if len(h.Programs) == 0 {
+		return fmt.Errorf("core: hetero stressmark has no programs to save")
+	}
+	if len(h.Programs) != len(h.Genome.PerThread) {
+		return fmt.Errorf("core: hetero stressmark has %d programs for %d genomes",
+			len(h.Programs), len(h.Genome.PerThread))
+	}
+	out := savedHetero{
+		Version: saveVersion,
+		Kind:    heteroKind,
+		Name:    h.Name,
+		Threads: h.Threads,
+		DroopV:  h.DroopV,
+		Genomes: h.Genome.PerThread,
+	}
+	for _, prog := range h.Programs {
+		blob, err := asm.Encode(prog)
+		if err != nil {
+			return err
+		}
+		out.Programs = append(out.Programs, base64.StdEncoding.EncodeToString(blob))
+	}
+	if h.Search != nil {
+		out.Population = h.Search.Population
+		out.History = h.Search.History
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SaveFile writes the heterogeneous stressmark to path atomically.
+func (h *HeteroStressmark) SaveFile(path string) error {
+	return WriteFileAtomic(path, h.Save)
+}
+
+// LoadHeteroStressmark reads a checkpoint written by
+// (*HeteroStressmark).Save, returning the stressmark and the saved
+// final population.
+func LoadHeteroStressmark(r io.Reader) (*HeteroStressmark, []HeteroGenome, error) {
+	var in savedHetero
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, nil, fmt.Errorf("core: load hetero: %w", err)
+	}
+	if in.Kind != heteroKind {
+		return nil, nil, fmt.Errorf("core: load hetero: kind %q is not %q", in.Kind, heteroKind)
+	}
+	if in.Version != saveVersion {
+		return nil, nil, fmt.Errorf("core: load hetero: unsupported version %d", in.Version)
+	}
+	if len(in.Programs) != len(in.Genomes) {
+		return nil, nil, fmt.Errorf("core: load hetero: %d programs for %d genomes",
+			len(in.Programs), len(in.Genomes))
+	}
+	h := &HeteroStressmark{
+		Name:    in.Name,
+		Threads: in.Threads,
+		DroopV:  in.DroopV,
+		Genome:  HeteroGenome{PerThread: in.Genomes},
+	}
+	for i, enc := range in.Programs {
+		blob, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: load hetero: program %d: %w", i, err)
+		}
+		prog, err := asm.Decode(blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		h.Programs = append(h.Programs, prog)
+	}
+	return h, in.Population, nil
 }
 
 // SaveFile writes the stressmark to path atomically: a half-written

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/ga"
+)
+
+// persistGenome builds a deterministic genome + program pair through
+// the real code generator (no search needed for wire-format tests).
+func persistGenome(t *testing.T, seed int64, lpCycles int) (Genome, *asm.Program) {
+	t.Helper()
+	cg := testCodeGen()
+	g := cg.NewGenome(rand.New(rand.NewSource(seed)), 6, 3, lpCycles, 0.2)
+	prog, err := cg.Build("persist-test", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, prog
+}
+
+// TestStressmarkRoundTripShapes exercises Save/Load across the
+// homogeneous wire format's variation points: with and without an
+// attached search result (population + history), with and without an
+// FP throttle, and across loop shapes.
+func TestStressmarkRoundTripShapes(t *testing.T) {
+	g, prog := persistGenome(t, 7, 18)
+	g2, _ := persistGenome(t, 8, 6)
+
+	cases := map[string]*Stressmark{
+		"bare": {
+			Name: "bare", Threads: 1, LoopCycles: 24, Mode: Resonance,
+			DroopV: 0.042, Genome: g, Program: prog,
+		},
+		"throttled-excitation": {
+			Name: "thr", Threads: 4, LoopCycles: 96, Mode: Excitation,
+			FPThrottle: 1, DroopV: 0.03, Genome: g, Program: prog,
+		},
+		"with-search": {
+			Name: "searched", Threads: 2, LoopCycles: 36, Mode: Resonance,
+			DroopV: 0.05, Genome: g, Program: prog,
+			Search: &ga.Result[Genome]{
+				Population: []Genome{g, g2},
+				History:    []float64{0.01, 0.03, 0.05},
+			},
+		},
+	}
+	for name, sm := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := sm.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, pop, err := LoadStressmark(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Name != sm.Name || got.Threads != sm.Threads ||
+				got.LoopCycles != sm.LoopCycles || got.Mode != sm.Mode ||
+				got.FPThrottle != sm.FPThrottle || got.DroopV != sm.DroopV {
+				t.Errorf("scalar fields drifted: got %+v", got)
+			}
+			if !reflect.DeepEqual(got.Genome, sm.Genome) {
+				t.Error("genome did not round-trip")
+			}
+			if got.Program.Text() != sm.Program.Text() {
+				t.Error("program did not round-trip")
+			}
+			if sm.Search == nil {
+				if len(pop) != 0 {
+					t.Errorf("phantom population of %d", len(pop))
+				}
+			} else if !reflect.DeepEqual(pop, sm.Search.Population) {
+				t.Error("population did not round-trip")
+			}
+		})
+	}
+}
+
+// TestHeteroStressmarkRoundTrip covers the heterogeneous wire format:
+// per-thread genomes and programs, and the saved final population.
+func TestHeteroStressmarkRoundTrip(t *testing.T) {
+	g0, p0 := persistGenome(t, 21, 18)
+	g1, p1 := persistGenome(t, 22, 18)
+	h := &HeteroStressmark{
+		Name: "het", Threads: 2, DroopV: 0.061,
+		Genome:   HeteroGenome{PerThread: []Genome{g0, g1}},
+		Programs: []*asm.Program{p0, p1},
+		Search: &ga.Result[HeteroGenome]{
+			Population: []HeteroGenome{{PerThread: []Genome{g0, g1}}},
+			History:    []float64{0.02, 0.061},
+		},
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, pop, err := LoadHeteroStressmark(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != h.Name || got.Threads != h.Threads || got.DroopV != h.DroopV {
+		t.Errorf("scalar fields drifted: got %+v", got)
+	}
+	if !reflect.DeepEqual(got.Genome, h.Genome) {
+		t.Error("hetero genome did not round-trip")
+	}
+	if len(got.Programs) != 2 || got.Programs[0].Text() != p0.Text() || got.Programs[1].Text() != p1.Text() {
+		t.Error("per-thread programs did not round-trip")
+	}
+	if !reflect.DeepEqual(pop, h.Search.Population) {
+		t.Error("hetero population did not round-trip")
+	}
+}
+
+// TestHeteroSaveValidation: a hetero mark with no programs, or with a
+// program/genome count mismatch, must refuse to serialise.
+func TestHeteroSaveValidation(t *testing.T) {
+	g, p := persistGenome(t, 23, 18)
+	var buf bytes.Buffer
+	empty := &HeteroStressmark{Name: "x", Genome: HeteroGenome{PerThread: []Genome{g}}}
+	if err := empty.Save(&buf); err == nil {
+		t.Error("hetero mark with no programs saved")
+	}
+	skewed := &HeteroStressmark{
+		Name:     "x",
+		Genome:   HeteroGenome{PerThread: []Genome{g, g}},
+		Programs: []*asm.Program{p},
+	}
+	if err := skewed.Save(&buf); err == nil {
+		t.Error("program/genome count mismatch saved")
+	}
+}
+
+// TestLoadHeteroRejectsDamage: corrupt blobs, foreign kinds, version
+// skew and internally inconsistent files must all be refused.
+func TestLoadHeteroRejectsDamage(t *testing.T) {
+	g, p := persistGenome(t, 24, 18)
+	h := &HeteroStressmark{
+		Name: "x", Threads: 1, Genome: HeteroGenome{PerThread: []Genome{g}},
+		Programs: []*asm.Program{p},
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+
+	extraGenome, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"garbage":        "not json at all",
+		"truncated":      valid[:len(valid)/2],
+		"wrong-kind":     strings.Replace(valid, heteroKind, "audit-search-checkpoint", 1),
+		"missing-kind":   strings.Replace(valid, heteroKind, "", 1),
+		"future-version": strings.Replace(valid, `"version": 1`, `"version": 99`, 1),
+		// Structurally valid JSON whose program list no longer matches
+		// its genome list: one extra genome, same single program.
+		"count-mismatch": strings.Replace(valid, `"genomes": [`, `"genomes": [`+string(extraGenome)+",", 1),
+	}
+
+	for name, blob := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := LoadHeteroStressmark(strings.NewReader(blob)); err == nil {
+				t.Error("damaged hetero save accepted")
+			}
+		})
+	}
+	// Sanity: the unmodified blob still loads.
+	if _, _, err := LoadHeteroStressmark(strings.NewReader(valid)); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+}
+
+// TestLoadStressmarkRejectsVersionSkew: a homogeneous save from a
+// future format version must be refused, not half-parsed.
+func TestLoadStressmarkRejectsVersionSkew(t *testing.T) {
+	_, prog := persistGenome(t, 25, 18)
+	sm := &Stressmark{Name: "x", Threads: 1, LoopCycles: 24, Program: prog}
+	var buf bytes.Buffer
+	if err := sm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	skewed := strings.Replace(buf.String(), `"version": 1`, `"version": 2`, 1)
+	if _, _, err := LoadStressmark(strings.NewReader(skewed)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version save accepted: err=%v", err)
+	}
+	truncated := buf.String()[:buf.Len()/3]
+	if _, _, err := LoadStressmark(strings.NewReader(truncated)); err == nil {
+		t.Error("truncated save accepted")
+	}
+}
+
+// TestLoadSearchCheckpointTruncated: a checkpoint cut off mid-write
+// (the exact artifact WriteFileAtomic exists to prevent, but which a
+// copy or transfer can still produce) must fail cleanly.
+func TestLoadSearchCheckpointTruncated(t *testing.T) {
+	whole := `{"version":1,"kind":"audit-search-checkpoint","name":"x","threads":2,"loop_cycles":36,"mode":0,"ga":{"gen":3}}`
+	if _, err := LoadSearchCheckpoint(strings.NewReader(whole)); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	for _, cut := range []int{1, len(whole) / 2, len(whole) - 2} {
+		if _, err := LoadSearchCheckpoint(strings.NewReader(whole[:cut])); err == nil {
+			t.Errorf("checkpoint truncated at %d bytes accepted", cut)
+		}
+	}
+	if _, err := LoadSearchCheckpoint(strings.NewReader("")); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+// TestReplayPassesOnCleanPlatform: replaying a fresh baseline on the
+// same platform must reproduce it bit-exactly.
+func TestReplayPassesOnCleanPlatform(t *testing.T) {
+	cp := compile(t, testbed.Bulldozer())
+	entries := []*Entry{
+		harvestEntry(t, cp, HarvestConfig{}),
+		harvestEntry(t, cp, HarvestConfig{Name: "second-mark", DroopTolV: 0.002}),
+	}
+	for _, r := range Replay(cp, entries, ReplayOptions{}) {
+		if r.Verdict != Pass {
+			t.Errorf("%s: verdict %s (%s), want pass", r.Entry.Name, r.Verdict, r.Detail)
+		}
+		if r.Measured == nil {
+			t.Errorf("%s: no measurement attached", r.Entry.Name)
+		}
+	}
+}
+
+// TestReplayCatchesModelDrift is the corpus's reason to exist: a
+// one-line change to the energy model — the kind of simulator edit no
+// platform digest can see, because no config struct moved — must
+// surface as DRIFT, not pass and not be excused as platform skew.
+// replayWith stands in for "the code changed under us" by measuring on
+// a perturbed platform while holding the clean platform's digest.
+func TestReplayCatchesModelDrift(t *testing.T) {
+	clean := compile(t, testbed.Bulldozer())
+	cleanDigest := testbed.PlatformDigest(clean.Platform())
+	e := harvestEntry(t, clean, HarvestConfig{})
+
+	perturbed := testbed.Bulldozer()
+	perturbed.Power.SchedPJPerIssue *= 1.01 // the "one-line model change"
+	pcp := compile(t, perturbed)
+
+	res := replayWith(pcp, cleanDigest, []*Entry{e}, ReplayOptions{})
+	if res[0].Verdict != Drift {
+		t.Fatalf("verdict %s (%s), want DRIFT", res[0].Verdict, res[0].Detail)
+	}
+	if !strings.Contains(res[0].Detail, "fingerprint") {
+		t.Errorf("drift detail %q does not name the fingerprint mismatch", res[0].Detail)
+	}
+}
+
+// TestReplayReportsPlatformSkew: when the platform description itself
+// changed, the digest mismatch must be reported as skew — an explained
+// baseline break, distinct from drift — whether or not values moved.
+func TestReplayReportsPlatformSkew(t *testing.T) {
+	clean := compile(t, testbed.Bulldozer())
+	e := harvestEntry(t, clean, HarvestConfig{})
+
+	// Values identical (same platform), digest different: the baseline
+	// is void but the numbers held.
+	held := replayWith(clean, "some-other-digest", []*Entry{e}, ReplayOptions{})
+	if held[0].Verdict != PlatformSkew {
+		t.Fatalf("verdict %s, want platform-skew", held[0].Verdict)
+	}
+	if !strings.Contains(held[0].Detail, "values held") {
+		t.Errorf("skew detail %q should note the values held", held[0].Detail)
+	}
+
+	// Genuinely changed platform through the public API: Replay
+	// computes the real (differing) digest itself.
+	perturbed := testbed.Bulldozer()
+	perturbed.PDN.LDie *= 1.5
+	pcp := compile(t, perturbed)
+	moved := Replay(pcp, []*Entry{e}, ReplayOptions{})
+	if moved[0].Verdict != PlatformSkew {
+		t.Fatalf("verdict %s (%s), want platform-skew", moved[0].Verdict, moved[0].Detail)
+	}
+}
+
+// TestReplayToleranceGatesOnDroop: a positive droop tolerance swaps the
+// bit-exact fingerprint gate for a |Δdroop| ≤ tol gate, letting an
+// entry survive numeric changes smaller than its tolerance and still
+// fail on larger ones.
+func TestReplayToleranceGatesOnDroop(t *testing.T) {
+	clean := compile(t, testbed.Bulldozer())
+	cleanDigest := testbed.PlatformDigest(clean.Platform())
+	tight := harvestEntry(t, clean, HarvestConfig{})                         // bit-exact
+	loose := harvestEntry(t, clean, HarvestConfig{DroopTolV: 0.05})          // generous
+	strict := harvestEntry(t, clean, HarvestConfig{DroopTolV: 0.0000000001}) // sub-noise
+
+	perturbed := testbed.Bulldozer()
+	perturbed.Power.SchedPJPerIssue *= 1.001 // tiny numeric shift
+	pcp := compile(t, perturbed)
+
+	res := replayWith(pcp, cleanDigest, []*Entry{tight, loose, strict}, ReplayOptions{})
+	if res[0].Verdict != Drift {
+		t.Errorf("bit-exact entry: verdict %s, want DRIFT", res[0].Verdict)
+	}
+	if res[1].Verdict != Pass {
+		t.Errorf("tolerant entry: verdict %s (%s), want pass", res[1].Verdict, res[1].Detail)
+	}
+	if res[2].Verdict != Drift {
+		t.Errorf("sub-noise-tolerance entry: verdict %s, want DRIFT", res[2].Verdict)
+	}
+}
+
+// TestReplayFailureLadder: entries that baseline a voltage-at-failure
+// ladder replay it and compare; SkipFailure trades that check away.
+func TestReplayFailureLadder(t *testing.T) {
+	cp := compile(t, testbed.Bulldozer())
+	floor := cp.Nominal() * 0.80
+	e := harvestEntry(t, cp, HarvestConfig{FailFloor: floor})
+	if e.Expected.FailFloor != floor {
+		t.Fatalf("harvest did not record the ladder floor")
+	}
+
+	res := Replay(cp, []*Entry{e}, ReplayOptions{})
+	if res[0].Verdict != Pass {
+		t.Fatalf("verdict %s (%s), want pass", res[0].Verdict, res[0].Detail)
+	}
+	if res[0].FailFound != e.Expected.FailFound || res[0].FailVolts != e.Expected.FailVolts {
+		t.Errorf("ladder replay (%v, %.4f) differs from baseline (%v, %.4f)",
+			res[0].FailFound, res[0].FailVolts, e.Expected.FailFound, e.Expected.FailVolts)
+	}
+
+	// A tampered failure baseline must be caught...
+	bad := *e
+	bad.Expected.FailVolts += testbed.FailureStep
+	badRes := Replay(cp, []*Entry{&bad}, ReplayOptions{})
+	if e.Expected.FailFound { // voltage only compared when the ladder found a failure
+		if badRes[0].Verdict != Drift || !strings.Contains(badRes[0].Detail, "failure voltage") {
+			t.Errorf("verdict %s (%s), want DRIFT on failure voltage", badRes[0].Verdict, badRes[0].Detail)
+		}
+	}
+	// ...unless the ladder is explicitly skipped.
+	skipped := Replay(cp, []*Entry{&bad}, ReplayOptions{SkipFailure: true})
+	if skipped[0].Verdict != Pass {
+		t.Errorf("SkipFailure still ran the ladder: verdict %s (%s)", skipped[0].Verdict, skipped[0].Detail)
+	}
+}
+
+// TestReplaySurfacesErrors: an entry that cannot be measured reports
+// Error and does not poison its batch siblings.
+func TestReplaySurfacesErrors(t *testing.T) {
+	cp := compile(t, testbed.Bulldozer())
+	good := harvestEntry(t, cp, HarvestConfig{})
+	bad := harvestEntry(t, cp, HarvestConfig{Name: "unplaceable"})
+	bad.Threads = 10000 // more threads than the chip has
+
+	res := Replay(cp, []*Entry{bad, good}, ReplayOptions{})
+	if res[0].Verdict != Error {
+		t.Errorf("unplaceable entry: verdict %s, want ERROR", res[0].Verdict)
+	}
+	if res[1].Verdict != Pass {
+		t.Errorf("sibling entry: verdict %s (%s), want pass", res[1].Verdict, res[1].Detail)
+	}
+}
+
+// TestFingerprintCoversFields spot-checks that the measurement
+// fingerprint moves when any scored field moves and ignores Waveform.
+func TestFingerprintCoversFields(t *testing.T) {
+	base := &testbed.Measurement{Cycles: 100, MaxDroopV: 0.05, Retired: 42}
+	ref := Fingerprint(base)
+	if Fingerprint(base) != ref {
+		t.Fatal("fingerprint not deterministic")
+	}
+	m := *base
+	m.MaxDroopV += 1e-12
+	if Fingerprint(&m) == ref {
+		t.Error("fingerprint ignored a droop change")
+	}
+	m = *base
+	m.L3Misses++
+	if Fingerprint(&m) == ref {
+		t.Error("fingerprint ignored a cache counter")
+	}
+	m = *base
+	m.Failed = true
+	if Fingerprint(&m) == ref {
+		t.Error("fingerprint ignored the failure flag")
+	}
+	m = *base
+	m.Waveform = []float64{1, 2, 3}
+	if Fingerprint(&m) != ref {
+		t.Error("fingerprint depends on the optional waveform")
+	}
+}

@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -13,19 +14,39 @@ import (
 // the persistent store (internal/tracestore). The store sits strictly
 // below the FIFO: a lookup consults memory first, then disk, and only
 // then runs phase 1; fresh captures are written through. Records are
-// keyed by the full trace key salted with a platform digest, so two
+// keyed by the full trace key salted with a capture digest, so two
 // platforms (or two binaries with different chip/power calibrations)
 // sharing one store directory can never serve each other's traces.
 
-// platformDigest fingerprints everything trace content depends on
+// captureDigest fingerprints everything trace content depends on
 // beyond the trace key: the chip configuration and the power model
-// (both flat scalar structs, so %#v is canonical). Changes to the
-// trace semantics themselves are covered by the store's format
-// version, which must be bumped whenever capture output changes
-// meaning without changing these structs.
-func platformDigest(p Platform) []byte {
+// (both flat scalar structs, so %#v is canonical). The PDN and failure
+// model are deliberately absent — phase 1 runs the chip alone, so
+// platforms differing only on the network side still share stored
+// traces. Changes to the trace semantics themselves are covered by the
+// store's format version, which must be bumped whenever capture output
+// changes meaning without changing these structs.
+func captureDigest(p Platform) []byte {
 	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v\x00%#v", p.Chip, p.Power)))
 	return sum[:]
+}
+
+// PlatformDigest fingerprints the complete measurement platform — chip
+// configuration, power model, PDN and failure model, all flat scalar
+// structs with canonical %#v forms — as a hex string. Anything that can
+// move a Measurement is covered, so equal digests mean "the same
+// physical test system": the stressmark corpus stamps every entry with
+// the digest it was baselined on, and a replay whose digest differs
+// reports platform skew instead of unexplained drift.
+//
+// The digest is a stable, reviewed artifact: adding or renaming a field
+// in any of the four config structs changes it, and the golden-value
+// test in digest_test.go makes that an explicit event (update the
+// goldens, re-baseline corpora) rather than a silent one.
+func PlatformDigest(p Platform) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf(
+		"%#v\x00%#v\x00%#v\x00%#v", p.Chip, p.Power, p.PDN, p.Failure)))
+	return hex.EncodeToString(sum[:])
 }
 
 // SetTraceStore attaches a persistent trace store beneath the
@@ -35,7 +56,7 @@ func (cp *CompiledPlatform) SetTraceStore(s *tracestore.Store) {
 	cp.store = s
 	cp.storeSalt = nil
 	if s != nil {
-		cp.storeSalt = platformDigest(cp.p)
+		cp.storeSalt = captureDigest(cp.p)
 	}
 }
 

@@ -10,6 +10,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Without a captured baseline there is nothing to diff against: skip
+# cleanly (exit 0) rather than burn benchmark time and fail on a fresh
+# checkout. --capture is exactly how that baseline gets created, so it
+# proceeds regardless.
+if [ "${1:-}" != "--capture" ] && [ ! -f BENCH_eval.json ]; then
+  echo "bench_regress: BENCH_eval.json not found; skipping diff" >&2
+  echo "bench_regress: capture a baseline first: scripts/bench_regress.sh --capture" >&2
+  exit 0
+fi
+
 # Every benchmark the gate covers. A rename or deletion must show up
 # here as a hard failure, not silently shrink the gate.
 gated=(

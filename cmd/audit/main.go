@@ -29,6 +29,13 @@
 //	-cpuprofile write a pprof CPU profile of the search to this file
 //	-pprof      serve net/http/pprof on this address (e.g. :6060)
 //
+// Worker mode (distributed search, see cmd/auditd):
+//
+//	-worker      run as a measurement worker instead of searching
+//	-coordinator coordinator base URL, e.g. http://host:7070
+//	-worker-id   stable worker name (default host.pid)
+//	-worker-par  capture parallelism per leased unit (default 1)
+//
 // A search with -checkpoint survives Ctrl-C: the interrupted run exits
 // cleanly and `audit -resume <checkpoint>` finishes it bit-identically
 // to an uninterrupted run.
@@ -52,7 +59,9 @@ import (
 
 	"repro/audit"
 	"repro/internal/corpus"
+	"repro/internal/dist"
 	"repro/internal/report"
+	"repro/internal/testbed"
 )
 
 type cliOptions struct {
@@ -71,6 +80,9 @@ type cliOptions struct {
 	traceCacheMB           int
 	traceStore             string
 	cpuProfile, pprofAddr  string
+	worker                 bool
+	coordinator, workerID  string
+	workerPar              int
 }
 
 func main() {
@@ -98,6 +110,10 @@ func main() {
 	flag.StringVar(&c.traceStore, "trace-store", "", "persist chip traces in this directory across runs (created if absent)")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the search to this file")
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	flag.BoolVar(&c.worker, "worker", false, "run as a measurement worker for a cmd/auditd coordinator")
+	flag.StringVar(&c.coordinator, "coordinator", "", "coordinator base URL for -worker, e.g. http://host:7070")
+	flag.StringVar(&c.workerID, "worker-id", "", "stable worker name for -worker (default host.pid)")
+	flag.IntVar(&c.workerPar, "worker-par", 1, "capture parallelism per leased unit in -worker mode")
 	flag.Parse()
 
 	if c.pprofAddr != "" {
@@ -131,6 +147,20 @@ func main() {
 	// the process mid-write; with -checkpoint the run is resumable.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if c.worker {
+		err := runWorker(ctx, c)
+		if errors.Is(err, context.Canceled) {
+			stopProfile()
+			os.Exit(0) // clean shutdown: leases expire, coordinator reassigns
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "audit:", err)
+			stopProfile()
+			os.Exit(1)
+		}
+		return
+	}
 
 	err := run(ctx, c)
 	if errors.Is(err, context.Canceled) {
@@ -291,6 +321,56 @@ func run(ctx context.Context, c cliOptions) error {
 		fmt.Print(sm.Program.Text())
 	}
 	return nil
+}
+
+// runWorker turns this process into a measurement shard for a
+// cmd/auditd coordinator: compile the local platform, register with
+// its digest, then lease → measure → post until killed. A SIGKILLed or
+// partitioned worker costs the search nothing but a lease TTL.
+func runWorker(ctx context.Context, c cliOptions) error {
+	if c.coordinator == "" {
+		return fmt.Errorf("-worker needs -coordinator <url>")
+	}
+	var plat audit.Platform
+	switch c.platform {
+	case "bulldozer":
+		plat = audit.BulldozerPlatform()
+	case "phenom":
+		plat = audit.PhenomPlatform()
+	default:
+		return fmt.Errorf("unknown platform %q", c.platform)
+	}
+	id := c.workerID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s.%d", host, os.Getpid())
+	}
+	cp, err := audit.Compile(plat)
+	if err != nil {
+		return err
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		ID:       id,
+		BaseURL:  c.coordinator,
+		Runner:   cp,
+		Platform: testbed.PlatformDigest(plat),
+		Parallel: c.workerPar,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "audit: worker %s serving %s for %s\n", id, plat.Chip.Name, c.coordinator)
+	err = w.Run(ctx)
+	st := w.Stats()
+	fmt.Fprintf(os.Stderr, "audit: worker %s done: %d units, %d abandoned, %d failures, %d rpc retries\n",
+		id, st.Units, st.Abandoned, st.Failures, st.RPCRetries)
+	return err
 }
 
 func runHetero(ctx context.Context, c cliOptions, plat audit.Platform, opts audit.Options, stats func() *audit.FaultStats) error {

@@ -1,0 +1,288 @@
+// Command auditd is the distributed stressmark search coordinator.
+// It owns the GA loop exactly as cmd/audit does, but evaluates each
+// generation by sharding the run configs into lease-based work units
+// and dispatching them over HTTP/JSON to registered workers
+// (`audit -worker -coordinator http://host:port`). The search survives
+// worker crashes, hangs and lossy networks — leases expire and units
+// are reassigned or evaluated locally — and the result is bit-identical
+// to a single-node `audit` run with the same flags.
+//
+// Usage:
+//
+//	auditd [flags]
+//
+//	-listen     address to serve the worker protocol on (default :7070)
+//	-platform   bulldozer | phenom            (default bulldozer)
+//	-threads    homogeneous thread count      (default 4)
+//	-mode       resonance | excitation        (default resonance)
+//	-loop       loop length in cycles; 0 = auto resonance sweep
+//	-subblock   hierarchical sub-block size K (default 6)
+//	-pop        GA population                 (default 14)
+//	-gens       GA max generations            (default 14)
+//	-seed       RNG seed                      (default 1)
+//	-o          write the stressmark assembly to this file
+//	-save       write the finished stressmark here
+//	-checkpoint write a mid-search checkpoint here every generation
+//	-resume     continue from a -checkpoint file
+//	-unit-size  run configs per work unit     (default 4)
+//	-lease-ttl  lease deadline; heartbeats extend it (default 3s)
+//	-min-workers wait for this many workers before searching (default 0)
+//	-v          log lease traffic to stderr
+//
+// A coordinator crash is recoverable: restart auditd with the same
+// flags plus -resume <checkpoint> and a fresh worker pool; the stitched
+// search finishes bit-identical to an uninterrupted one.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/ga"
+	"repro/internal/testbed"
+)
+
+type daemonOptions struct {
+	listen             string
+	platform, mode     string
+	threads, loop      int
+	subblock           int
+	pop, gens          int
+	seed               int64
+	outAsm, saveTo     string
+	checkpoint, resume string
+	unitSize           int
+	leaseTTL           time.Duration
+	minWorkers         int
+	verbose            bool
+}
+
+func main() {
+	var c daemonOptions
+	flag.StringVar(&c.listen, "listen", ":7070", "address to serve the worker protocol on")
+	flag.StringVar(&c.platform, "platform", "bulldozer", "bulldozer or phenom")
+	flag.IntVar(&c.threads, "threads", 4, "homogeneous thread count")
+	flag.StringVar(&c.mode, "mode", "resonance", "resonance or excitation")
+	flag.IntVar(&c.loop, "loop", 0, "loop length in cycles (0 = auto sweep)")
+	flag.IntVar(&c.subblock, "subblock", 6, "hierarchical sub-block cycles")
+	flag.IntVar(&c.pop, "pop", 14, "GA population size")
+	flag.IntVar(&c.gens, "gens", 14, "GA max generations")
+	flag.Int64Var(&c.seed, "seed", 1, "random seed")
+	flag.StringVar(&c.outAsm, "o", "", "write NASM-style assembly here")
+	flag.StringVar(&c.saveTo, "save", "", "write the finished stressmark here")
+	flag.StringVar(&c.checkpoint, "checkpoint", "", "write a mid-search checkpoint here every generation")
+	flag.StringVar(&c.resume, "resume", "", "resume from a -checkpoint file")
+	flag.IntVar(&c.unitSize, "unit-size", 0, "run configs per work unit (0 = default 4)")
+	flag.DurationVar(&c.leaseTTL, "lease-ttl", 0, "lease deadline; heartbeats extend it (0 = default 3s)")
+	flag.IntVar(&c.minWorkers, "min-workers", 0, "wait for this many registered workers before searching")
+	flag.BoolVar(&c.verbose, "v", false, "log lease traffic to stderr")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, c)
+	if errors.Is(err, context.Canceled) {
+		if c.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "auditd: interrupted; resume with -resume %s\n", c.checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "auditd: interrupted (use -checkpoint to make searches resumable)")
+		}
+		os.Exit(130)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auditd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, c daemonOptions) error {
+	var plat testbed.Platform
+	switch c.platform {
+	case "bulldozer":
+		plat = testbed.Bulldozer()
+	case "phenom":
+		plat = testbed.Phenom()
+	default:
+		return fmt.Errorf("unknown platform %q", c.platform)
+	}
+	var m core.Mode
+	switch c.mode {
+	case "resonance":
+		m = core.Resonance
+	case "excitation":
+		m = core.Excitation
+	default:
+		return fmt.Errorf("unknown mode %q", c.mode)
+	}
+
+	// Bind before searching so a bad -listen fails fast, and so workers
+	// can start polling while the platform compiles. Until the
+	// coordinator exists the handler answers 503; workers treat that as
+	// any other transient transport error and retry.
+	ln, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		return err
+	}
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value
+	handler.Store(handlerBox{http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "auditd: coordinator warming up", http.StatusServiceUnavailable)
+	})})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(handlerBox).h.ServeHTTP(w, r)
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "auditd: serving worker protocol on %s\n", ln.Addr())
+
+	logf := func(string, ...any) {}
+	if c.verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var co *dist.Coordinator
+	opts := core.Options{
+		Platform:       plat,
+		Threads:        c.threads,
+		Mode:           m,
+		LoopCycles:     c.loop,
+		SubBlockCycles: c.subblock,
+		CheckpointPath: c.checkpoint,
+		GA: ga.Config{
+			PopSize: c.pop, Elites: 2, TournamentK: 3,
+			MutationProb: 0.6, MaxGenerations: c.gens, StagnantLimit: 6,
+			Seed: c.seed,
+		},
+		Seed: c.seed,
+		Name: fmt.Sprintf("A-%s-%dT", c.mode, c.threads),
+		WrapRunner: func(r testbed.Runner) testbed.Runner {
+			local, ok := r.(dist.LocalRunner)
+			if !ok {
+				// Nothing to distribute (e.g. a fault injector is already
+				// wrapping the platform): stay single-node.
+				fmt.Fprintln(os.Stderr, "auditd: runner not distributable, evaluating locally")
+				return r
+			}
+			var err error
+			co, err = dist.NewCoordinator(dist.Config{
+				Local:    local,
+				Platform: testbed.PlatformDigest(plat),
+				UnitSize: c.unitSize,
+				LeaseTTL: c.leaseTTL,
+				Logf:     logf,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "auditd:", err)
+				return r
+			}
+			handler.Store(handlerBox{co.Handler()})
+			waitForWorkers(ctx, co, c.minWorkers)
+			return co
+		},
+	}
+
+	if c.resume != "" {
+		blob, err := os.ReadFile(c.resume)
+		if err != nil {
+			return err
+		}
+		ck, err := core.LoadSearchCheckpoint(bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		opts.Resume = ck
+		fmt.Fprintf(os.Stderr, "auditd: resuming search from %s (generation %d)\n",
+			c.resume, searchGen(ck))
+	}
+
+	fmt.Fprintf(os.Stderr, "auditd: generating %s stressmark for %s (%dT)...\n",
+		c.mode, plat.Chip.Name, c.threads)
+	start := time.Now()
+	sm, err := core.Generate(ctx, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("GA: %d evaluations over %d generations in %s\n",
+		sm.Search.Evaluations, sm.Search.Generations, elapsed.Round(time.Millisecond))
+	if co != nil {
+		st := co.Stats()
+		fmt.Printf("dist: %d units remote, %d local, %d lease expiries, %d requeues, %d duplicate results, %d suspensions, %d evictions\n",
+			st.UnitsRemote, st.UnitsLocal, st.LeaseExpiries, st.Requeues,
+			st.DuplicateResults, st.Suspensions, st.Evictions)
+	}
+	fmt.Printf("best droop: %.1f mV (loop %d cycles)\n", sm.DroopV*1e3, sm.LoopCycles)
+
+	if c.outAsm != "" {
+		if err := writeFileAtomic(c.outAsm, []byte(sm.Program.Text())); err != nil {
+			return err
+		}
+		fmt.Println("assembly written to", c.outAsm)
+	}
+	if c.saveTo != "" {
+		if err := sm.SaveFile(c.saveTo); err != nil {
+			return err
+		}
+		fmt.Println("stressmark written to", c.saveTo)
+	}
+	if c.outAsm == "" && c.saveTo == "" {
+		fmt.Println("\n--- generated stressmark ---")
+		fmt.Print(sm.Program.Text())
+	}
+	return nil
+}
+
+// waitForWorkers blocks until min workers have registered (or ctx
+// dies). Purely cosmetic for determinism — the coordinator degrades to
+// local evaluation when the pool is empty — but it avoids burning the
+// first generation locally while a fleet is still booting.
+func waitForWorkers(ctx context.Context, co *dist.Coordinator, min int) {
+	if min <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "auditd: waiting for %d workers...\n", min)
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for co.LiveWorkers() < min {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+	fmt.Fprintf(os.Stderr, "auditd: %d workers live\n", co.LiveWorkers())
+}
+
+// searchGen peeks the generation counter out of the opaque GA state.
+func searchGen(ck *core.SearchCheckpoint) int {
+	var probe struct {
+		Gen int `json:"gen"`
+	}
+	_ = json.Unmarshal(ck.GA, &probe)
+	return probe.Gen
+}
+
+func writeFileAtomic(path string, blob []byte) error {
+	return core.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	})
+}

@@ -1,0 +1,261 @@
+package faults
+
+// This file is the network fault profile: the failure modes of the RPC
+// fabric between a distributed-search coordinator and its worker
+// shards, as opposed to the measurement-lab faults of faults.go. A
+// NetFaults wraps an http.RoundTripper and deterministically drops,
+// delays, duplicates and stalls the RPCs flowing through it, so the
+// lease/heartbeat/retry machinery in internal/dist can be chaos-tested
+// with reproducible schedules: the same campaign sees the same faults
+// every run, while each retransmission of the same RPC draws a fresh
+// outcome (the attempt counter advances), which is what makes retry
+// converge.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NetError is a typed transport failure — the RPC never completed, the
+// caller cannot know whether the server saw it. Always transient: a
+// retransmission may succeed, and the receiving side must therefore
+// deduplicate (at-most-once merge).
+type NetError struct {
+	// Op names the failed hop ("request dropped", "stall cancelled").
+	Op string
+	// Attempt is the per-RPC-content attempt number that failed.
+	Attempt uint32
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("faults: network fault: %s (attempt %d)", e.Op, e.Attempt)
+}
+
+// Transient reports that a retry may succeed; detected structurally
+// (errors.As) by the ga and dist retry policies.
+func (e *NetError) Transient() bool { return true }
+
+// Unwrap lets errors.Is(err, ErrTransient) classify network faults with
+// the same sentinel as lab faults.
+func (e *NetError) Unwrap() error { return ErrTransient }
+
+// NetConfig describes the RPC fabric's failure modes. Rates are
+// probabilities in [0,1]; zero disables a mode.
+type NetConfig struct {
+	// Seed drives every fault decision.
+	Seed int64
+	// DropRate is the probability an RPC is lost outright: the request
+	// may or may not have reached the server (the caller cannot tell),
+	// and the call returns a NetError.
+	DropRate float64
+	// DupRate is the probability an RPC is delivered twice — a spurious
+	// retransmission. The caller sees the second exchange's response;
+	// the server must tolerate the duplicate.
+	DupRate float64
+	// DelayMax adds up to this much extra latency to each RPC, uniform.
+	DelayMax time.Duration
+	// StallRate is the probability an RPC hangs for StallDur before the
+	// response is delivered — a stalled worker or a congested link. The
+	// caller's context can cancel the stall.
+	StallRate float64
+	// StallDur is how long a stalled RPC hangs (default 2s).
+	StallDur time.Duration
+}
+
+// LabNet returns a default chaos-flavoured network fault model: lossy
+// enough that every recovery path fires, not so lossy that progress
+// stops.
+func LabNet(seed int64) NetConfig {
+	return NetConfig{
+		Seed:      seed,
+		DropRate:  0.10,
+		DupRate:   0.05,
+		DelayMax:  2 * time.Millisecond,
+		StallRate: 0.02,
+		StallDur:  250 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c NetConfig) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop rate", c.DropRate},
+		{"duplicate rate", c.DupRate},
+		{"stall rate", c.StallRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.DelayMax < 0 || c.StallDur < 0 {
+		return fmt.Errorf("faults: negative duration")
+	}
+	return nil
+}
+
+// NetStats counts what the transport injector did.
+type NetStats struct {
+	// RPCs is the total number of RoundTrip calls.
+	RPCs int
+	// Dropped, Duplicated, Delayed and Stalled count the fired modes.
+	Dropped    int
+	Duplicated int
+	Delayed    int
+	Stalled    int
+}
+
+// NetFaults is an http.RoundTripper decorator injecting the configured
+// network faults. Safe for concurrent use; fault decisions are keyed by
+// (seed, RPC content hash, per-content attempt counter) so they are
+// independent of call order and concurrency, exactly like Injector.
+type NetFaults struct {
+	cfg   NetConfig
+	inner http.RoundTripper
+
+	// sleep waits for d or until ctx dies; swappable for fake-clock
+	// tests.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu       sync.Mutex
+	attempts map[uint64]uint32
+	stats    NetStats
+}
+
+// NewNet wraps inner (nil = http.DefaultTransport) with the configured
+// network fault model.
+func NewNet(cfg NetConfig, inner http.RoundTripper) (*NetFaults, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if cfg.StallDur == 0 {
+		cfg.StallDur = 2 * time.Second
+	}
+	return &NetFaults{cfg: cfg, inner: inner, sleep: sleepCtx, attempts: map[uint64]uint32{}}, nil
+}
+
+// Stats returns a snapshot of the injection counters.
+func (n *NetFaults) Stats() NetStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// RoundTrip executes one RPC through the fault model. The zero-fault
+// configuration is a transparent passthrough (modulo body buffering).
+func (n *NetFaults) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body: the content hash needs it, and a duplicated
+	// delivery resends it. dist RPCs are small JSON payloads.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	h := hashRPC(req.Method, req.URL.Path, body)
+	n.mu.Lock()
+	attempt := n.attempts[h]
+	n.attempts[h]++
+	n.stats.RPCs++
+	n.mu.Unlock()
+
+	rng := rand.New(rand.NewSource(mix(n.cfg.Seed, h, attempt)))
+	// Draw order is fixed so every mode's decision is stable whether or
+	// not earlier modes fire.
+	dropped := rng.Float64() < n.cfg.DropRate
+	duped := rng.Float64() < n.cfg.DupRate
+	var delay time.Duration
+	if n.cfg.DelayMax > 0 {
+		delay = time.Duration(rng.Int63n(int64(n.cfg.DelayMax) + 1))
+	}
+	stalled := rng.Float64() < n.cfg.StallRate
+
+	ctx := req.Context()
+	if delay > 0 {
+		n.count(func(s *NetStats) { s.Delayed++ })
+		if err := n.sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+	if dropped {
+		n.count(func(s *NetStats) { s.Dropped++ })
+		return nil, &NetError{Op: "request dropped", Attempt: attempt}
+	}
+	if duped {
+		// Spurious retransmission: the server sees the RPC twice. The
+		// first exchange's response is discarded unread.
+		n.count(func(s *NetStats) { s.Duplicated++ })
+		if resp, err := n.inner.RoundTrip(cloneRequest(req, body)); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	if stalled {
+		n.count(func(s *NetStats) { s.Stalled++ })
+		if err := n.sleep(ctx, n.cfg.StallDur); err != nil {
+			return nil, err
+		}
+	}
+	return n.inner.RoundTrip(cloneRequest(req, body))
+}
+
+func (n *NetFaults) count(f func(*NetStats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+// cloneRequest rebuilds the request around the buffered body so it can
+// be (re)sent any number of times.
+func cloneRequest(req *http.Request, body []byte) *http.Request {
+	out := req.Clone(req.Context())
+	if body != nil {
+		out.Body = io.NopCloser(bytes.NewReader(body))
+		out.ContentLength = int64(len(body))
+		out.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+	}
+	return out
+}
+
+// sleepCtx waits for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// hashRPC produces the stable content key of one RPC.
+func hashRPC(method, path string, body []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(method))
+	h.Write([]byte{0})
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	h.Write(body)
+	return h.Sum64()
+}

@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func post(t *testing.T, client *http.Client, url, body string) (string, error) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(blob), nil
+}
+
+// TestNetFaultsPassthrough: the zero configuration must not perturb
+// RPCs at all.
+func TestNetFaultsPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		blob, _ := io.ReadAll(r.Body)
+		w.Write(blob)
+	}))
+	defer srv.Close()
+	nf, err := NewNet(NetConfig{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: nf}
+	got, err := post(t, client, srv.URL+"/echo", `{"x":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `{"x":1}` {
+		t.Fatalf("echo = %q", got)
+	}
+	if s := nf.Stats(); s.RPCs != 1 || s.Dropped+s.Duplicated+s.Stalled != 0 {
+		t.Fatalf("stats = %+v, want one clean RPC", s)
+	}
+}
+
+// TestNetFaultsDropIsTransient: a dropped RPC surfaces as a typed
+// transient error, classified by both the sentinel and the structural
+// Transient() contract the ga package uses.
+func TestNetFaultsDropIsTransient(t *testing.T) {
+	nf, err := NewNet(NetConfig{Seed: 3, DropRate: 1}, http.DefaultTransport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: nf}
+	_, err = post(t, client, "http://127.0.0.1:0/unreachable-but-irrelevant", "x")
+	if err == nil {
+		t.Fatal("DropRate=1 RPC succeeded")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("dropped RPC error %v does not wrap ErrTransient", err)
+	}
+	var ne *NetError
+	if !errors.As(err, &ne) || !ne.Transient() {
+		t.Fatalf("dropped RPC error %v is not a transient NetError", err)
+	}
+	if s := nf.Stats(); s.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 drop", s)
+	}
+}
+
+// TestNetFaultsDuplicateDelivers: a duplicated RPC reaches the server
+// twice, and the caller still gets a good response — the receiver's
+// dedup, not the sender, owns exactly-once semantics.
+func TestNetFaultsDuplicateDelivers(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		blob, _ := io.ReadAll(r.Body)
+		hits.Add(1)
+		w.Write(blob)
+	}))
+	defer srv.Close()
+	nf, err := NewNet(NetConfig{Seed: 5, DupRate: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: nf}
+	got, err := post(t, client, srv.URL+"/result", `{"unit":7}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `{"unit":7}` {
+		t.Fatalf("response = %q", got)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", hits.Load())
+	}
+	if s := nf.Stats(); s.Duplicated != 1 {
+		t.Fatalf("stats = %+v, want 1 duplicate", s)
+	}
+}
+
+// TestNetFaultsStallHonoursContext: a stalled RPC sleeps StallDur (via
+// the injected clock) and aborts early when the caller's context dies.
+func TestNetFaultsStallHonoursContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	nf, err := NewNet(NetConfig{Seed: 2, StallRate: 1, StallDur: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var slept []time.Duration
+	nf.sleep = func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+		return ctx.Err()
+	}
+	client := &http.Client{Transport: nf}
+	if _, err := post(t, client, srv.URL+"/lease", "x"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != 1 || slept[0] != time.Hour {
+		t.Fatalf("stall slept %v, want [1h]", slept)
+	}
+	if s := nf.Stats(); s.Stalled != 1 {
+		t.Fatalf("stats = %+v, want 1 stall", s)
+	}
+
+	// Real clock + dead context: the stall must abort promptly.
+	nf2, err := NewNet(NetConfig{Seed: 2, StallRate: 1, StallDur: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/lease", strings.NewReader("x"))
+	if _, err := (&http.Client{Transport: nf2}).Do(req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled RPC with dead context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNetFaultsDeterministic: fault decisions depend only on (seed, RPC
+// content, attempt) — re-running the same RPC sequence reproduces the
+// exact outcome sequence, and distinct contents draw independently.
+func TestNetFaultsDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+	}))
+	defer srv.Close()
+	outcomes := func() []bool {
+		nf, err := NewNet(NetConfig{Seed: 11, DropRate: 0.5}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := &http.Client{Transport: nf}
+		var dropped []bool
+		for i := 0; i < 8; i++ {
+			for _, body := range []string{`{"u":1}`, `{"u":2}`, `{"u":3}`} {
+				_, err := post(t, client, srv.URL+"/lease", body)
+				dropped = append(dropped, err != nil)
+			}
+		}
+		return dropped
+	}
+	a, b := outcomes(), outcomes()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("drop pattern degenerate (%d/%d): attempt counter not advancing", fired, len(a))
+	}
+}

@@ -4,14 +4,20 @@
 package fsutil
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // WriteFileAtomic writes via a temp file in path's directory and
 // renames it into place, so readers (and crash recovery) only ever see
-// complete files.
+// complete files. The temp file is fsynced before the rename and the
+// directory is fsynced after it, so a power cut can lose the update
+// but never the file: checkpoints, corpus entries and trace records
+// either exist in full or not at all. No error path leaves the temp
+// file behind.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
@@ -30,5 +36,25 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir makes a completed rename durable: until the directory entry
+// itself is flushed, a crash can roll the rename back. Filesystems
+// that cannot fsync a directory (EINVAL/ENOTSUP) already persist
+// renames themselves, so those errors are not failures.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/base64"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Checkpoint is the complete state of a search between generations:
@@ -77,6 +78,11 @@ func snapshot[G any](gen, stagnant int, pop []scored[G], res *Result[G], cache m
 		for k, v := range cache {
 			ck.Cache = append(ck.Cache, CacheEntry{Key: base64.StdEncoding.EncodeToString([]byte(k)), Fit: v})
 		}
+		// Canonical order: map iteration is randomized, and a checkpoint
+		// must serialize to the same bytes for the same search state so
+		// independently produced checkpoints (serial vs distributed runs,
+		// say) can be compared by fingerprint.
+		sort.Slice(ck.Cache, func(i, j int) bool { return ck.Cache[i].Key < ck.Cache[j].Key })
 	}
 	return ck
 }

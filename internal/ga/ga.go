@@ -42,14 +42,17 @@ type Ops[G any] struct {
 	// EvalGeneration, when non-nil, scores a whole generation in one
 	// call instead of fanning the per-genome eval across workers; the
 	// testbed's generation-batched pipeline (capture sharing, multi-lane
-	// replay) plugs in here. It must return slot-aligned fitnesses and
-	// errors with EvalGeneration(gs)[i] ≡ eval(gs[i]) — the per-genome
-	// eval is still required and still runs the retry/repeat policy:
-	// the batch call provides each candidate's first attempt, and
-	// candidates that need more (transient failures to retry, Repeats-1
-	// further samples) finish through the serial path. EvalTimeout
-	// cannot bound the monolithic batch call, only those follow-ups.
-	EvalGeneration func(gs []G) ([]float64, []error)
+	// replay) and the distributed coordinator plug in here. It must
+	// return slot-aligned fitnesses and errors with
+	// EvalGeneration(ctx, gs)[i] ≡ eval(gs[i]) — the per-genome eval is
+	// still required and still runs the retry/repeat policy: the batch
+	// call provides each candidate's first attempt, and candidates that
+	// need more (transient failures to retry, Repeats-1 further samples)
+	// finish through the serial path. ctx is the search context: a batch
+	// evaluator that can stop early on cancellation (a remote dispatch
+	// waiting on workers, say) should honour it; EvalTimeout cannot
+	// bound the monolithic batch call, only the follow-ups.
+	EvalGeneration func(ctx context.Context, gs []G) ([]float64, []error)
 }
 
 // Config controls the search.

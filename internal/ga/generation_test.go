@@ -71,7 +71,7 @@ func TestEvalIndexedStopsDispatchAfterCancel(t *testing.T) {
 // over the slate, optionally injecting per-slot errors.
 func generationOps(n int, inject func(bits) error) Ops[bits] {
 	ops := memoOps(n)
-	ops.EvalGeneration = func(gs []bits) ([]float64, []error) {
+	ops.EvalGeneration = func(_ context.Context, gs []bits) ([]float64, []error) {
 		fits := make([]float64, len(gs))
 		errs := make([]error, len(gs))
 		for i, g := range gs {
@@ -194,7 +194,7 @@ func TestEvalGenerationDegradesPermanentFailures(t *testing.T) {
 func TestEvalGenerationShapeError(t *testing.T) {
 	const n = 24
 	ops := memoOps(n)
-	ops.EvalGeneration = func(gs []bits) ([]float64, []error) {
+	ops.EvalGeneration = func(_ context.Context, gs []bits) ([]float64, []error) {
 		return make([]float64, len(gs)-1), make([]error, len(gs))
 	}
 	cfg := defaultCfg()

@@ -194,14 +194,14 @@ func (e *evaluator[G]) finish(ctx context.Context, g G, fit float64, err error) 
 // first measurement at once (where capture sharing and lane-batched
 // replay live), then candidates needing the serial policy — failed
 // first attempts, Repeats > 1 — finish on the worker pool.
-func (e *evaluator[G]) evalGeneration(ctx context.Context, gs []G, batch func([]G) ([]float64, []error), workers int) ([]float64, error) {
+func (e *evaluator[G]) evalGeneration(ctx context.Context, gs []G, batch func(context.Context, []G) ([]float64, []error), workers int) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(gs) == 0 {
 		return nil, nil
 	}
-	bfits, berrs := batch(gs)
+	bfits, berrs := batch(ctx, gs)
 	if len(bfits) != len(gs) || len(berrs) != len(gs) {
 		return nil, fmt.Errorf("ga: generation evaluator returned %d fits / %d errs for %d genomes", len(bfits), len(berrs), len(gs))
 	}

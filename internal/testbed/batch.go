@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -47,10 +48,29 @@ type BatchRunner interface {
 	MeasureBatch(rcs []RunConfig, lanes, workers int) ([]*Measurement, []error)
 }
 
-var _ BatchRunner = (*CompiledPlatform)(nil)
+// ContextBatchRunner is a BatchRunner whose batch call honours
+// cancellation: once ctx is cancelled, no further work units are
+// started, in-flight units finish (the simulator is CPU-bound and
+// always terminates), and every slot the batch never resolved carries
+// ctx.Err(). CompiledPlatform implements it; so does the distributed
+// coordinator, which uses cancellation to stop waiting on workers.
+type ContextBatchRunner interface {
+	BatchRunner
+	MeasureBatchContext(ctx context.Context, rcs []RunConfig, lanes, workers int) ([]*Measurement, []error)
+}
+
+var _ ContextBatchRunner = (*CompiledPlatform)(nil)
 
 // runParallel runs job(0..n-1) on up to `workers` goroutines.
 func runParallel(workers, n int, job func(int)) {
+	runParallelCtx(context.Background(), workers, n, job)
+}
+
+// runParallelCtx is runParallel with cooperative cancellation: workers
+// stop claiming new jobs once ctx is cancelled, so at most `workers`
+// in-flight jobs run to completion and the rest never start. No
+// goroutine outlives the call.
+func runParallelCtx(ctx context.Context, workers, n int, job func(int)) {
 	if n == 0 {
 		return
 	}
@@ -59,6 +79,9 @@ func runParallel(workers, n int, job func(int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			job(i)
 		}
 		return
@@ -69,7 +92,7 @@ func runParallel(workers, n int, job func(int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -95,6 +118,17 @@ type laneJob struct {
 // results are bit-identical to cp.Run(rcs[i]) run in isolation, and the
 // slot order never affects any result.
 func (cp *CompiledPlatform) MeasureBatch(rcs []RunConfig, lanes, workers int) ([]*Measurement, []error) {
+	return cp.MeasureBatchContext(context.Background(), rcs, lanes, workers)
+}
+
+// MeasureBatchContext is MeasureBatch with cooperative cancellation.
+// Slots resolved before the cancellation keep their (bit-identical)
+// results; every slot the pipeline never reached reports ctx.Err()
+// instead, so a caller abandoning the batch (a worker whose lease was
+// revoked, a shutting-down coordinator) discards partial work cleanly.
+// Captures already in flight run to completion — the simulator is
+// CPU-bound and bounded — so no goroutine outlives the call.
+func (cp *CompiledPlatform) MeasureBatchContext(ctx context.Context, rcs []RunConfig, lanes, workers int) ([]*Measurement, []error) {
 	if lanes <= 0 {
 		lanes = DefaultBatchLanes
 	}
@@ -168,7 +202,7 @@ func (cp *CompiledPlatform) MeasureBatch(rcs []RunConfig, lanes, workers int) ([
 		}
 	}
 	var readyMu sync.Mutex
-	runParallel(workers, len(missing), func(gi int) {
+	runParallelCtx(ctx, workers, len(missing), func(gi int) {
 		key := missing[gi]
 		members := groups[key]
 		tr := cp.storeLoad(key)
@@ -220,7 +254,7 @@ func (cp *CompiledPlatform) MeasureBatch(rcs []RunConfig, lanes, workers int) ([
 	})
 	nGroups := (len(laneJobs) + lanes - 1) / lanes
 	tasks := nGroups + len(solo) + len(exact)
-	runParallel(workers, tasks, func(t int) {
+	runParallelCtx(ctx, workers, tasks, func(t int) {
 		switch {
 		case t < nGroups:
 			lo := t * lanes
@@ -241,6 +275,19 @@ func (cp *CompiledPlatform) MeasureBatch(rcs []RunConfig, lanes, workers int) ([
 			ms[i], errs[i] = cp.runExact(rcs[i])
 		}
 	})
+
+	// A cancelled batch leaves unreached slots unresolved; stamp them
+	// with the cancellation before the duplicate pass so dups of an
+	// unresolved representative inherit it instead of dereferencing nil.
+	if err := ctx.Err(); err != nil {
+		for i := range rcs {
+			if ms[i] == nil && errs[i] == nil {
+				if _, dup := dupOf[i]; !dup {
+					errs[i] = err
+				}
+			}
+		}
+	}
 
 	// Serve memo duplicates from their representative's finished
 	// measurement (via the memo, so the hit counts as it would have

@@ -1,0 +1,198 @@
+package testbed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// assertNoExtraGoroutines polls until the goroutine count returns to
+// the pre-call level, failing with a stack dump if workers leaked. The
+// batch pipeline lets claimed jobs run to completion after a cancel, so
+// the count may lag the call's return briefly.
+func assertNoExtraGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// checkBatchOutcome verifies the slot invariant — exactly one of
+// (measurement, error) per slot — and that every resolved slot is
+// bit-identical to the serial reference, i.e. a cancelled batch returns
+// only whole results, never torn ones. It returns how many slots
+// carried the cancellation.
+func checkBatchOutcome(t *testing.T, ref *CompiledPlatform, rcs []RunConfig, ms []*Measurement, errs []error) (cancelled int) {
+	t.Helper()
+	for i := range rcs {
+		if (ms[i] == nil) == (errs[i] == nil) {
+			t.Fatalf("slot %d: measurement=%v error=%v, want exactly one", i, ms[i] != nil, errs[i])
+		}
+		if errs[i] != nil {
+			if errors.Is(errs[i], context.Canceled) {
+				cancelled++
+			}
+			continue
+		}
+		want, err := ref.Run(rcs[i])
+		if err != nil {
+			t.Fatalf("slot %d: serial reference failed: %v", i, err)
+		}
+		if !reflect.DeepEqual(ms[i], want) {
+			t.Fatalf("slot %d: partial batch result differs from serial:\n got %+v\nwant %+v", i, ms[i], want)
+		}
+	}
+	return cancelled
+}
+
+// ctxSlate builds a batch of distinct non-periodic configs so stage 1
+// must capture every group and stage 2 replays them all.
+func ctxSlate(t *testing.T, p Platform, groups int) []RunConfig {
+	t.Helper()
+	base := resonancePeriodCycles(p)
+	var rcs []RunConfig
+	for i := 0; i < groups; i++ {
+		threads, err := SpreadPlacement(p.Chip, mulLoop(fmt.Sprintf("ctx%d", i), base+2*i), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcs = append(rcs, RunConfig{
+			Threads:      threads,
+			MaxCycles:    12000,
+			WarmupCycles: 1000,
+			SupplyVolts:  p.Nominal() - 0.05,
+		})
+	}
+	return rcs
+}
+
+// TestMeasureBatchContextPreCancelled: a batch handed an already-dead
+// context resolves every slot with ctx.Err() (invalid configs keep
+// their validation error — classification runs before any capture) and
+// starts no simulation work.
+func TestMeasureBatchContextPreCancelled(t *testing.T) {
+	p := Bulldozer()
+	cp, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs := ctxSlate(t, p, 3)
+	rcs = append(rcs, RunConfig{MaxCycles: 100}) // invalid: no threads
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms, errs := cp.MeasureBatchContext(ctx, rcs, 0, 4)
+	assertNoExtraGoroutines(t, before)
+
+	for i := 0; i < 3; i++ {
+		if ms[i] != nil || !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("slot %d: (%v, %v), want (nil, context.Canceled)", i, ms[i], errs[i])
+		}
+	}
+	if errs[3] == nil || errors.Is(errs[3], context.Canceled) {
+		t.Errorf("invalid slot: err = %v, want its validation error", errs[3])
+	}
+	if st := cp.TraceStats(); st.CaptureNS != 0 {
+		t.Errorf("capture ran %dns of work under a pre-cancelled context", st.CaptureNS)
+	}
+}
+
+// TestMeasureBatchContextCancelDuringCapture cancels while stage 1 is
+// capturing: the pipeline must stop dispatching, leak no goroutines,
+// and return whole per-slot results — resolved slots bit-identical to
+// the serial path, unreached slots carrying the cancellation.
+func TestMeasureBatchContextCancelDuringCapture(t *testing.T) {
+	p := Bulldozer()
+	cp, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs := ctxSlate(t, p, 8)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stopped atomic.Bool
+	go func() {
+		// Trip the cancel as soon as the first capture lands, i.e. mid
+		// stage 1 while later groups are still queued.
+		for !stopped.Load() {
+			if cp.TraceStats().Misses >= 1 {
+				cancel()
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	ms, errs := cp.MeasureBatchContext(ctx, rcs, 0, 1)
+	stopped.Store(true)
+	assertNoExtraGoroutines(t, before)
+	checkBatchOutcome(t, ref, rcs, ms, errs)
+}
+
+// TestMeasureBatchContextCancelDuringReplay pre-captures every trace,
+// then cancels while stage 2 replays a fresh set of supply points:
+// replay jobs not yet claimed must be abandoned with ctx.Err() and the
+// finished ones must match the serial path exactly.
+func TestMeasureBatchContextCancelDuringReplay(t *testing.T) {
+	p := Bulldozer()
+	cp, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := ctxSlate(t, p, 8)
+	if _, werrs := cp.MeasureBatch(warm, 0, 4); werrs[0] != nil {
+		t.Fatal(werrs[0])
+	}
+	// New supplies: every trace is already resident, all work is replay.
+	rcs := make([]RunConfig, len(warm))
+	for i, rc := range warm {
+		rc.SupplyVolts = p.Nominal() - 0.11
+		rcs[i] = rc
+	}
+	lanesSeen := cp.TraceStats().LaneBatches
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stopped atomic.Bool
+	go func() {
+		for !stopped.Load() {
+			if cp.TraceStats().LaneBatches > lanesSeen {
+				cancel()
+				return
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+	// Lane width 1 splits the replays into many pool tasks so a
+	// mid-stage cancel has queued work left to abandon.
+	ms, errs := cp.MeasureBatchContext(ctx, rcs, 1, 1)
+	stopped.Store(true)
+	assertNoExtraGoroutines(t, before)
+	checkBatchOutcome(t, ref, rcs, ms, errs)
+}

@@ -181,6 +181,10 @@ func (s *Store) SizeBytes() int64 {
 	return total
 }
 
+// removeRecord is os.Remove behind a seam, so tests can interpose the
+// moment another process unlinks a record mid-eviction.
+var removeRecord = os.Remove
+
 // evict removes oldest-mtime records until the store fits its budget,
 // sparing the just-written file so a Put can never evict itself.
 func (s *Store) evict(spare string) {
@@ -219,7 +223,11 @@ func (s *Store) evict(spare string) {
 		if f.path == spare {
 			continue
 		}
-		if os.Remove(f.path) == nil {
+		// Another process sharing the directory may have removed the
+		// file since ReadDir: its bytes are gone either way, so ENOENT
+		// counts as space freed — treating it as a failure would make
+		// the scan evict younger records to cover phantom bytes.
+		if err := removeRecord(f.path); err == nil || os.IsNotExist(err) {
 			total -= f.size
 		}
 	}

@@ -250,3 +250,94 @@ func TestStrayFilesIgnored(t *testing.T) {
 		t.Fatal("stray file deleted by eviction")
 	}
 }
+
+// TestEvictTolerantOfConcurrentUnlink reproduces the shared-directory
+// race where another process unlinks a record between the eviction
+// scan's ReadDir and its Remove. The vanished bytes are gone either
+// way, so the scan must count them as freed; charging them as still
+// resident makes it evict younger records to cover phantom bytes.
+func TestEvictTolerantOfConcurrentUnlink(t *testing.T) {
+	dir := t.TempDir()
+	one := sampleRecord(64, 1)
+	oneSize := int64(len(encode(one)))
+	s, err := Open(dir, 3*oneSize) // room for three records
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	for i, k := range keys[:3] {
+		if err := s.Put(k, sampleRecord(64, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		mt := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(s.path(k), mt, mt)
+	}
+
+	// The other process beats us to every unlink: the file is already
+	// gone by the time our Remove runs.
+	defer func() { removeRecord = os.Remove }()
+	removeRecord = func(path string) error {
+		os.Remove(path)
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+
+	// The overflowing Put needs exactly one eviction ("a", oldest).
+	if err := s.Put(keys[3], sampleRecord(64, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Error("a (oldest) survived eviction")
+	}
+	// "b" and "c" must survive: the ENOENT on "a" freed its bytes.
+	for _, k := range keys[1:] {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%q evicted to cover phantom bytes", k)
+		}
+	}
+}
+
+// TestTwoStoresRacingOnOneDir is the cross-process regression test for
+// ENOENT tolerance: two byte-starved stores on one directory, both
+// evicting under each other's feet while Gets race the unlinks. Every
+// failure mode must surface as a miss, never an error or a panic. Run
+// under -race.
+func TestTwoStoresRacingOnOneDir(t *testing.T) {
+	dir := t.TempDir()
+	one := sampleRecord(64, 1)
+	budget := 3 * int64(len(encode(one))) // both stores always over budget
+	s1, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []*Store{s1, s2}
+	const keys = 12
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := stores[g%2]
+			for i := 0; i < 60; i++ {
+				n := (g*7 + i) % keys
+				k := []byte(fmt.Sprintf("key-%d", n))
+				if i%2 == 0 {
+					if err := s.Put(k, sampleRecord(64, uint64(n))); err != nil {
+						t.Errorf("goroutine %d: Put: %v", g, err)
+					}
+					continue
+				}
+				if got, ok := s.Get(k); ok && !recordsEqual(got, sampleRecord(64, uint64(n))) {
+					t.Errorf("goroutine %d: foreign record under %s", g, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sz := s1.SizeBytes(); sz > budget {
+		t.Errorf("store over budget after racing evictions: %d > %d", sz, budget)
+	}
+}

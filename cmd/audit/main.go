@@ -24,7 +24,13 @@
 //	-resume     continue from a -checkpoint or -save file
 //	-faults     inject lab faults at this transient rate (0 = off)
 //	-exact      force the reference per-cycle measurement loop
-//	-batch-lanes    replay lanes per batched generation (0 = default, <0 off)
+//	-rom-tol    volts of PDN replay error admitting the reduced-order
+//	            kernel (0 = off, exact replay only); a non-zero value
+//	            changes the platform digest
+//	-batch-lanes    replay lanes per batched generation: auto (default)
+//	                picks the width from the batch shape and a kernel
+//	                calibration; an integer fixes it; negative disables
+//	                batching
 //	-trace-cache-mb trace cache budget in MiB (0 = default 128)
 //	-cpuprofile write a pprof CPU profile of the search to this file
 //	-pprof      serve net/http/pprof on this address (e.g. :6060)
@@ -54,6 +60,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,7 +84,8 @@ type cliOptions struct {
 	faultRate              float64
 	hetero                 bool
 	exact                  bool
-	batchLanes             int
+	romTol                 float64
+	batchLanes             string
 	traceCacheMB           int
 	traceStore             string
 	cpuProfile, pprofAddr  string
@@ -105,7 +114,8 @@ func main() {
 	flag.Float64Var(&c.faultRate, "faults", 0, "inject lab faults at this transient rate (0 = off)")
 	flag.BoolVar(&c.hetero, "hetero", false, "give each thread its own genome (resonance mode only)")
 	flag.BoolVar(&c.exact, "exact", false, "force the reference per-cycle measurement loop (disable trace replay)")
-	flag.IntVar(&c.batchLanes, "batch-lanes", 0, "replay lanes per batched generation (0 = default, negative disables batching)")
+	flag.Float64Var(&c.romTol, "rom-tol", 0, "volts of PDN replay error admitting the reduced-order kernel (0 = exact replay only)")
+	flag.StringVar(&c.batchLanes, "batch-lanes", "auto", "replay lanes per batched generation: auto, a fixed width, or negative to disable batching")
 	flag.IntVar(&c.traceCacheMB, "trace-cache-mb", 0, "trace cache budget in MiB (0 = default 128)")
 	flag.StringVar(&c.traceStore, "trace-store", "", "persist chip traces in this directory across runs (created if absent)")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the search to this file")
@@ -198,7 +208,15 @@ func run(ctx context.Context, c cliOptions) error {
 	default:
 		return fmt.Errorf("unknown mode %q", c.mode)
 	}
+	// Applied to plat (not only Options) so every compile in this
+	// process — search, resonance sweep, corpus harvest — shares one
+	// platform identity.
+	plat.ROMTolV = c.romTol
 
+	lanes, err := parseBatchLanes(c.batchLanes)
+	if err != nil {
+		return err
+	}
 	opts := audit.Options{
 		Platform:        plat,
 		Threads:         c.threads,
@@ -208,7 +226,8 @@ func run(ctx context.Context, c cliOptions) error {
 		FPThrottle:      c.throttle,
 		CheckpointPath:  c.checkpoint,
 		ExactEval:       c.exact,
-		BatchLanes:      c.batchLanes,
+		ROMTolV:         c.romTol,
+		BatchLanes:      lanes,
 		TraceCacheBytes: c.traceCacheMB << 20,
 		TraceStorePath:  c.traceStore,
 		GA: audit.GAConfig{
@@ -323,6 +342,22 @@ func run(ctx context.Context, c cliOptions) error {
 	return nil
 }
 
+// parseBatchLanes maps the -batch-lanes argument onto
+// core.Options.BatchLanes: "auto" (or empty) selects automatic width
+// (0), an integer fixes the width, and a negative integer disables the
+// batch pipeline.
+func parseBatchLanes(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("-batch-lanes: %q is neither auto nor an integer", s)
+	}
+	return n, nil
+}
+
 // runWorker turns this process into a measurement shard for a
 // cmd/auditd coordinator: compile the local platform, register with
 // its digest, then lease → measure → post until killed. A SIGKILLed or
@@ -340,6 +375,10 @@ func runWorker(ctx context.Context, c cliOptions) error {
 	default:
 		return fmt.Errorf("unknown platform %q", c.platform)
 	}
+	// The ROM tolerance is platform identity: the worker registers the
+	// ROM-enabled digest, so it only leases work from a coordinator
+	// running the same tolerance.
+	plat.ROMTolV = c.romTol
 	id := c.workerID
 	if id == "" {
 		host, err := os.Hostname()
@@ -520,6 +559,13 @@ func printThroughput(evals int, elapsed time.Duration, hits, misses int, ts audi
 		fmt.Fprintf(os.Stderr, ", capture %s / replay %s",
 			time.Duration(ts.CaptureNS).Round(time.Millisecond),
 			time.Duration(ts.ReplayNS).Round(time.Millisecond))
+	}
+	if tot := ts.ROMReplays + ts.ExactReplays; tot > 0 {
+		if ts.ReplayNS > 0 {
+			fmt.Fprintf(os.Stderr, ", replay %s/lane",
+				time.Duration(ts.ReplayNS/tot).Round(time.Microsecond))
+		}
+		fmt.Fprintf(os.Stderr, ", kernels %d rom / %d exact", ts.ROMReplays, ts.ExactReplays)
 	}
 	fmt.Fprintln(os.Stderr)
 }

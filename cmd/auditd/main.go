@@ -27,6 +27,12 @@
 //	-unit-size  run configs per work unit     (default 4)
 //	-lease-ttl  lease deadline; heartbeats extend it (default 3s)
 //	-min-workers wait for this many workers before searching (default 0)
+//	-rom-tol    volts of PDN replay error admitting the reduced-order
+//	            kernel (0 = off); part of the platform digest, so
+//	            workers must be started with the same value
+//	-batch-lanes    replay lanes per batched generation: auto (default)
+//	                picks the width automatically; an integer fixes it;
+//	                negative disables batching
 //	-v          log lease traffic to stderr
 //
 // A coordinator crash is recoverable: restart auditd with the same
@@ -46,6 +52,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -68,6 +76,8 @@ type daemonOptions struct {
 	unitSize           int
 	leaseTTL           time.Duration
 	minWorkers         int
+	romTol             float64
+	batchLanes         string
 	verbose            bool
 }
 
@@ -89,6 +99,8 @@ func main() {
 	flag.IntVar(&c.unitSize, "unit-size", 0, "run configs per work unit (0 = default 4)")
 	flag.DurationVar(&c.leaseTTL, "lease-ttl", 0, "lease deadline; heartbeats extend it (0 = default 3s)")
 	flag.IntVar(&c.minWorkers, "min-workers", 0, "wait for this many registered workers before searching")
+	flag.Float64Var(&c.romTol, "rom-tol", 0, "volts of PDN replay error admitting the reduced-order kernel (0 = exact replay only)")
+	flag.StringVar(&c.batchLanes, "batch-lanes", "auto", "replay lanes per batched generation: auto, a fixed width, or negative to disable batching")
 	flag.BoolVar(&c.verbose, "v", false, "log lease traffic to stderr")
 	flag.Parse()
 
@@ -129,6 +141,13 @@ func run(ctx context.Context, c daemonOptions) error {
 	default:
 		return fmt.Errorf("unknown mode %q", c.mode)
 	}
+	// The ROM tolerance is part of the platform digest the coordinator
+	// registers workers against, so both sides run the same kernels.
+	plat.ROMTolV = c.romTol
+	lanes, err := parseBatchLanes(c.batchLanes)
+	if err != nil {
+		return err
+	}
 
 	// Bind before searching so a bad -listen fails fast, and so workers
 	// can start polling while the platform compiles. Until the
@@ -165,6 +184,7 @@ func run(ctx context.Context, c daemonOptions) error {
 		LoopCycles:     c.loop,
 		SubBlockCycles: c.subblock,
 		CheckpointPath: c.checkpoint,
+		BatchLanes:     lanes,
 		GA: ga.Config{
 			PopSize: c.pop, Elites: 2, TournamentK: 3,
 			MutationProb: 0.6, MaxGenerations: c.gens, StagnantLimit: 6,
@@ -269,6 +289,22 @@ func waitForWorkers(ctx context.Context, co *dist.Coordinator, min int) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "auditd: %d workers live\n", co.LiveWorkers())
+}
+
+// parseBatchLanes maps the -batch-lanes argument onto
+// core.Options.BatchLanes: "auto" (or empty) selects automatic width
+// (0), an integer fixes the width, and a negative integer disables the
+// batch pipeline.
+func parseBatchLanes(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("-batch-lanes: %q is neither auto nor an integer", s)
+	}
+	return n, nil
 }
 
 // searchGen peeks the generation counter out of the opaque GA state.

@@ -6,7 +6,7 @@
 //
 //	corpus ls    -db <dir>
 //	corpus add   -db <dir> -platform <name> [flags] <stressmark.json>...
-//	corpus run   -db <dir> [-lanes N] [-workers N] [-skip-failure] [-v]
+//	corpus run   -db <dir> [-lanes N] [-workers N] [-skip-failure] [-rom-tol V] [-v]
 //	corpus redux -db <dir> [-skip-failure]
 //
 // add harvests saved stressmarks (cmd/audit -save files) into baselined
@@ -186,6 +186,7 @@ func cmdRun(args []string) error {
 	lanes := fs.Int("lanes", 0, "replay lanes per batch (0 = default)")
 	workers := fs.Int("workers", 0, "batch workers (0 = default)")
 	skipFailure := fs.Bool("skip-failure", false, "skip voltage-at-failure ladders")
+	romTol := fs.Float64("rom-tol", 0, "replay with the reduced-order PDN kernel at this tolerance (volts); entries baselined on the exact platform then report platform-skew")
 	verbose := fs.Bool("v", false, "print per-entry results even when all pass")
 	fs.Parse(args)
 	db, err := openDB(*dir)
@@ -207,6 +208,7 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+		p.ROMTolV = *romTol
 		cp, err := p.Compile()
 		if err != nil {
 			return err

@@ -1,0 +1,364 @@
+package circuit
+
+// Small dense real eigensolver for the reduced-order replay model.
+// The matrices here are tiny (one row per reactive element — six for
+// the shipped 3-stage PDN), so the classic dense pipeline is the right
+// tool: reduce to upper Hessenberg form by stabilized elementary
+// similarity transforms, extract eigenvalues with a Francis
+// double-shift QR iteration, then recover each eigenvector by inverse
+// iteration on a slightly shifted complex system. Accuracy is enforced
+// by the caller (romCompile) through an explicit residual and
+// conditioning check — any failure there disables the ROM and replay
+// falls back to the exact LU kernel, so this solver only has to be
+// right when it claims to be.
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// eigenEps is the unit roundoff used for the deflation tests.
+const eigenEps = 2.220446049250313e-16
+
+// matInfNorm returns the infinity norm of the n×n row-major matrix a.
+func matInfNorm(a []float64, n int) float64 {
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += math.Abs(a[i*n+j])
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// hessReduce reduces the n×n row-major matrix a, in place, to upper
+// Hessenberg form by Gaussian similarity transforms with partial
+// pivoting (the elmhes scheme). Only eigenvalues are taken from the
+// result, so the transforms are not accumulated.
+func hessReduce(a []float64, n int) {
+	for m := 1; m < n-1; m++ {
+		// Pivot: largest magnitude in column m-1 below the diagonal.
+		p, x := m, math.Abs(a[m*n+m-1])
+		for i := m + 1; i < n; i++ {
+			if v := math.Abs(a[i*n+m-1]); v > x {
+				p, x = i, v
+			}
+		}
+		if p != m {
+			for j := 0; j < n; j++ {
+				a[p*n+j], a[m*n+j] = a[m*n+j], a[p*n+j]
+			}
+			for i := 0; i < n; i++ {
+				a[i*n+p], a[i*n+m] = a[i*n+m], a[i*n+p]
+			}
+		}
+		piv := a[m*n+m-1]
+		if piv == 0 {
+			continue
+		}
+		for i := m + 1; i < n; i++ {
+			f := a[i*n+m-1] / piv
+			if f == 0 {
+				continue
+			}
+			a[i*n+m-1] = 0
+			for j := m; j < n; j++ {
+				a[i*n+j] -= f * a[m*n+j]
+			}
+			// Inverse transform on columns keeps the spectrum intact.
+			for k := 0; k < n; k++ {
+				a[k*n+m] += f * a[k*n+i]
+			}
+		}
+	}
+}
+
+// hqr finds all eigenvalues of the upper Hessenberg matrix a (n×n,
+// row-major, destroyed) by the Francis double-shift QR iteration,
+// writing them to (wr, wi). Complex pairs land in adjacent slots with
+// wi[k] = ±β.
+func hqr(a []float64, n int, wr, wi []float64) error {
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		lo := i - 1
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < n; j++ {
+			anorm += math.Abs(a[i*n+j])
+		}
+	}
+	if anorm == 0 {
+		for i := range wr[:n] {
+			wr[i], wi[i] = 0, 0
+		}
+		return nil
+	}
+	var p, q, r, x, y, z, w, s float64
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		for {
+			// Look for a negligible subdiagonal element to split at.
+			var l int
+			for l = nn; l >= 1; l-- {
+				s = math.Abs(a[(l-1)*n+l-1]) + math.Abs(a[l*n+l])
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(a[l*n+l-1]) <= eigenEps*s {
+					a[l*n+l-1] = 0
+					break
+				}
+			}
+			if l < 0 {
+				l = 0
+			}
+			x = a[nn*n+nn]
+			if l == nn {
+				// One real eigenvalue deflates.
+				wr[nn] = x + t
+				wi[nn] = 0
+				nn--
+			} else {
+				y = a[(nn-1)*n+nn-1]
+				w = a[nn*n+nn-1] * a[(nn-1)*n+nn]
+				if l == nn-1 {
+					// A 2×2 block deflates: real pair or conjugate pair.
+					p = 0.5 * (y - x)
+					q = p*p + w
+					z = math.Sqrt(math.Abs(q))
+					x += t
+					if q >= 0 {
+						if p >= 0 {
+							z = p + z
+						} else {
+							z = p - z
+						}
+						wr[nn-1] = x + z
+						wr[nn] = wr[nn-1]
+						if z != 0 {
+							wr[nn] = x - w/z
+						}
+						wi[nn-1], wi[nn] = 0, 0
+					} else {
+						wr[nn-1] = x + p
+						wr[nn] = x + p
+						wi[nn] = z
+						wi[nn-1] = -z
+					}
+					nn -= 2
+				} else {
+					if its == 60 {
+						return errors.New("circuit: eigenvalue iteration failed to converge")
+					}
+					if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+						// Exceptional shift to break symmetry-induced cycling.
+						t += x
+						for i := 0; i <= nn; i++ {
+							a[i*n+i] -= x
+						}
+						s = math.Abs(a[nn*n+nn-1]) + math.Abs(a[(nn-1)*n+nn-2])
+						x = 0.75 * s
+						y = x
+						w = -0.4375 * s * s
+					}
+					its++
+					// Find two consecutive small subdiagonals to start the
+					// implicit double shift from.
+					var m int
+					for m = nn - 2; m >= l; m-- {
+						z = a[m*n+m]
+						r = x - z
+						s = y - z
+						p = (r*s-w)/a[(m+1)*n+m] + a[m*n+m+1]
+						q = a[(m+1)*n+m+1] - z - r - s
+						r = a[(m+2)*n+m+1]
+						s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+						p /= s
+						q /= s
+						r /= s
+						if m == l {
+							break
+						}
+						u := math.Abs(a[m*n+m-1]) * (math.Abs(q) + math.Abs(r))
+						v := math.Abs(p) * (math.Abs(a[(m-1)*n+m-1]) + math.Abs(z) + math.Abs(a[(m+1)*n+m+1]))
+						if u <= eigenEps*v {
+							break
+						}
+					}
+					if m < l {
+						m = l
+					}
+					for i := m + 2; i <= nn; i++ {
+						a[i*n+i-2] = 0
+						if i != m+2 {
+							a[i*n+i-3] = 0
+						}
+					}
+					// Double QR sweep over rows l..nn, columns m..nn.
+					for k := m; k <= nn-1; k++ {
+						if k != m {
+							p = a[k*n+k-1]
+							q = a[(k+1)*n+k-1]
+							r = 0
+							if k != nn-1 {
+								r = a[(k+2)*n+k-1]
+							}
+							if x = math.Abs(p) + math.Abs(q) + math.Abs(r); x != 0 {
+								p /= x
+								q /= x
+								r /= x
+							}
+						}
+						s = math.Sqrt(p*p + q*q + r*r)
+						if p < 0 {
+							s = -s
+						}
+						if s == 0 {
+							continue
+						}
+						if k == m {
+							if l != m {
+								a[k*n+k-1] = -a[k*n+k-1]
+							}
+						} else {
+							a[k*n+k-1] = -s * x
+						}
+						p += s
+						x = p / s
+						y = q / s
+						z = r / s
+						q /= p
+						r /= p
+						for j := k; j <= nn; j++ {
+							p = a[k*n+j] + q*a[(k+1)*n+j]
+							if k != nn-1 {
+								p += r * a[(k+2)*n+j]
+								a[(k+2)*n+j] -= p * z
+							}
+							a[(k+1)*n+j] -= p * y
+							a[k*n+j] -= p * x
+						}
+						mmin := nn
+						if k+3 < nn {
+							mmin = k + 3
+						}
+						for i := l; i <= mmin; i++ {
+							p = x*a[i*n+k] + y*a[i*n+k+1]
+							if k != nn-1 {
+								p += z * a[i*n+k+2]
+								a[i*n+k+2] -= p * r
+							}
+							a[i*n+k+1] -= p * q
+							a[i*n+k] -= p
+						}
+					}
+				}
+			}
+			if l >= nn-1 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// eigenValues returns the spectrum of the n×n row-major matrix a
+// (which is preserved) as (wr, wi) pairs.
+func eigenValues(a []float64, n int) (wr, wi []float64, err error) {
+	h := make([]float64, n*n)
+	copy(h, a)
+	hessReduce(h, n)
+	wr = make([]float64, n)
+	wi = make([]float64, n)
+	if err := hqr(h, n, wr, wi); err != nil {
+		return nil, nil, err
+	}
+	return wr, wi, nil
+}
+
+// eigenVector recovers a right eigenvector of a for the approximate
+// eigenvalue λ = lr + i·li by inverse iteration: repeatedly solving
+// (A − λ̃I)v = v with λ̃ perturbed slightly off λ so the factorization
+// stays regular. The returned vector is normalized so its largest
+// component is exactly 1 (a deterministic phase and scale convention),
+// along with a Rayleigh-refined eigenvalue estimate.
+func eigenVector(a []float64, n int, lr, li float64) ([]complex128, complex128, error) {
+	scale := matInfNorm(a, n) + math.Hypot(lr, li)
+	if scale == 0 {
+		scale = 1
+	}
+	shift := complex(lr, li) + complex(1e-9*scale, 0)
+	// Shifted system; reassembled per solve because solveComplex
+	// destroys its inputs.
+	sys := func() []complex128 {
+		m := make([]complex128, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m[i*n+j] = complex(a[i*n+j], 0)
+			}
+			m[i*n+i] -= shift
+		}
+		return m
+	}
+	// Deterministic full-support start vector.
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(1/float64(i+2), 1/float64(2*i+3))
+	}
+	for it := 0; it < 3; it++ {
+		b := make([]complex128, n)
+		copy(b, v)
+		sol, err := solveComplex(sys(), b, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Renormalize so the next iterate stays finite.
+		big := 0.0
+		for _, c := range sol {
+			if m := cmplx.Abs(c); m > big {
+				big = m
+			}
+		}
+		if big == 0 || math.IsInf(big, 0) || math.IsNaN(big) {
+			return nil, 0, errors.New("circuit: inverse iteration diverged")
+		}
+		for i := range sol {
+			sol[i] /= complex(big, 0)
+		}
+		v = sol
+	}
+	// Phase/scale convention: divide by the largest-magnitude entry.
+	kBig, big := 0, 0.0
+	for i, c := range v {
+		if m := cmplx.Abs(c); m > big {
+			kBig, big = i, m
+		}
+	}
+	piv := v[kBig]
+	for i := range v {
+		v[i] /= piv
+	}
+	// Rayleigh refinement: λ = (v*·Av)/(v*·v) sharpens the QR estimate
+	// to the accuracy of the recovered vector.
+	var num, den complex128
+	for i := 0; i < n; i++ {
+		var av complex128
+		for j := 0; j < n; j++ {
+			av += complex(a[i*n+j], 0) * v[j]
+		}
+		num += cmplx.Conj(v[i]) * av
+		den += cmplx.Conj(v[i]) * v[i]
+	}
+	if den == 0 {
+		return nil, 0, errors.New("circuit: degenerate eigenvector")
+	}
+	return v, num / den, nil
+}

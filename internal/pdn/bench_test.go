@@ -55,11 +55,13 @@ func BenchmarkStepTrace(b *testing.B) {
 	})
 }
 
-// BenchmarkStepTraceBatch measures the multi-lane kernel: L lanes
+// BenchmarkStepTraceBatch measures the multi-lane kernels: L lanes
 // advance together over the shared factorization, so ns/op ÷ L is the
 // per-lane cost to compare against BenchmarkStepTrace/Batched (the
-// one-lane kernel). SetBytes counts all lanes' samples: MB/s is
-// aggregate replay throughput.
+// one-lane exact kernel). Exact is the dense-LU oracle path; ROM is
+// the reduced-order modal kernel it gates (same drives, die voltage
+// within ROM.ErrPerAmpV — see TestROMBenchDrive). SetBytes counts all
+// lanes' samples: MB/s is aggregate replay throughput.
 func BenchmarkStepTraceBatch(b *testing.B) {
 	const n = 65536
 	cfg := Bulldozer()
@@ -68,28 +70,52 @@ func BenchmarkStepTraceBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, lanes := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("Lanes%d", lanes), func(b *testing.B) {
-			src := make([][]float64, lanes)
-			dst := make([][]float64, lanes)
-			mul := make([]float64, lanes)
-			div := make([]float64, lanes)
-			add := make([]float64, lanes)
-			for l := 0; l < lanes; l++ {
-				s := make([]float64, n)
-				for i := range s {
-					s[i] = 20 + 15*math.Sin(2*math.Pi*float64(i)/float64(36+l)) + 5*math.Sin(2*math.Pi*float64(i)/7)
-				}
-				src[l] = s
-				dst[l] = make([]float64, n)
-				mul[l], div[l], add[l] = 1, 1, 0
+	lanesList := []int{1, 2, 4, 8, 16, 32}
+	drive := func(lanes int) (src, dst [][]float64, mul, div, add []float64) {
+		src = make([][]float64, lanes)
+		dst = make([][]float64, lanes)
+		mul = make([]float64, lanes)
+		div = make([]float64, lanes)
+		add = make([]float64, lanes)
+		for l := 0; l < lanes; l++ {
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = 20 + 15*math.Sin(2*math.Pi*float64(i)/float64(36+l)) + 5*math.Sin(2*math.Pi*float64(i)/7)
 			}
+			src[l] = s
+			dst[l] = make([]float64, n)
+			mul[l], div[l], add[l] = 1, 1, 0
+		}
+		return
+	}
+	for _, lanes := range lanesList {
+		b.Run(fmt.Sprintf("Exact/Lanes%d", lanes), func(b *testing.B) {
+			src, dst, mul, div, add := drive(lanes)
 			b.ReportAllocs()
 			b.SetBytes(int64(lanes) * n * 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				bt := cp.NewBatch(lanes)
 				bt.StepTraceBatch(dst, src, mul, div, add, n)
+			}
+		})
+	}
+	for _, lanes := range lanesList {
+		b.Run(fmt.Sprintf("ROM/Lanes%d", lanes), func(b *testing.B) {
+			src, dst, mul, div, _ := drive(lanes)
+			p := cp.New()
+			b.ReportAllocs()
+			b.SetBytes(int64(lanes) * n * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rb, err := cp.NewROMBatch(lanes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for l := 0; l < lanes; l++ {
+					rb.LoadLane(l, p, 0)
+				}
+				rb.StepTraceBatch(dst, src, mul, div, n)
 			}
 		})
 	}

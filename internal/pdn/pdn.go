@@ -151,6 +151,13 @@ type Compiled struct {
 	sinkRef int
 	vrmRef  int
 	pool    sync.Pool // *PDN, state dirty until Reset
+
+	// Reduced-order replay model, compiled lazily on first use (see
+	// rom.go); romErr records a permanent compile failure so callers
+	// fall back to the exact kernel without retrying.
+	romOnce sync.Once
+	rom     *circuit.ROM
+	romErr  error
 }
 
 // Compile validates and compiles a network for time step dt seconds

@@ -1,5 +1,12 @@
 package pdn
 
+// Presets returns every shipped PDN configuration, for suites that
+// must hold across the whole catalog (ROM equivalence, digest
+// stability) rather than one hand-picked network.
+func Presets() []Config {
+	return []Config{Bulldozer(), Phenom(), ServerBoard()}
+}
+
 // Bulldozer returns the PDN configuration used with the Bulldozer-style
 // chip model. Element values are chosen so the three resonances land
 // where the paper and its references place them: first droop ≈ 100 MHz

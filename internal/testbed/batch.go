@@ -2,11 +2,14 @@ package testbed
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/pdn"
 )
 
 // This file is the generation-batched evaluation pipeline: the GA hands
@@ -26,9 +29,12 @@ import (
 // same per-cycle order over bit-identical kernel output, and everything
 // else literally calls the serial path.
 
-// DefaultBatchLanes is the lane width used when a caller passes
-// lanes <= 0. Eight lanes is where the blocked multi-RHS solve saturates
-// on the PDN-sized systems this repo ships.
+// DefaultBatchLanes is the fixed lane width callers may pass when they
+// want to bypass automatic selection. Eight lanes is where the blocked
+// multi-RHS solve saturates on the PDN-sized systems this repo ships —
+// but fixing the width can idle workers when a generation doesn't
+// split evenly (see autoLanes), which is why lanes <= 0 now selects
+// the width automatically instead of defaulting here.
 const DefaultBatchLanes = 8
 
 // maxBatchLanes bounds the lane width; wider batches spill the solve's
@@ -43,8 +49,10 @@ type BatchRunner interface {
 	Runner
 	// MeasureBatch measures every config, returning slot-aligned
 	// measurements and errors (exactly one of ms[i], errs[i] is
-	// non-nil). lanes <= 0 selects DefaultBatchLanes; workers <= 0
-	// selects GOMAXPROCS.
+	// non-nil). lanes <= 0 selects the lane width automatically from
+	// the batch shape and a per-platform kernel calibration; workers
+	// <= 0 selects GOMAXPROCS. The width never affects results, only
+	// throughput.
 	MeasureBatch(rcs []RunConfig, lanes, workers int) ([]*Measurement, []error)
 }
 
@@ -129,9 +137,7 @@ func (cp *CompiledPlatform) MeasureBatch(rcs []RunConfig, lanes, workers int) ([
 // Captures already in flight run to completion — the simulator is
 // CPU-bound and bounded — so no goroutine outlives the call.
 func (cp *CompiledPlatform) MeasureBatchContext(ctx context.Context, rcs []RunConfig, lanes, workers int) ([]*Measurement, []error) {
-	if lanes <= 0 {
-		lanes = DefaultBatchLanes
-	}
+	autoWidth := lanes <= 0
 	if lanes > maxBatchLanes {
 		lanes = maxBatchLanes
 	}
@@ -252,6 +258,9 @@ func (cp *CompiledPlatform) MeasureBatchContext(ctx context.Context, rcs []RunCo
 	sort.SliceStable(laneJobs, func(a, b int) bool {
 		return len(laneJobs[a].tr.energy) > len(laneJobs[b].tr.energy)
 	})
+	if autoWidth {
+		lanes = cp.autoLanes(len(laneJobs), workers)
+	}
 	nGroups := (len(laneJobs) + lanes - 1) / lanes
 	tasks := nGroups + len(solo) + len(exact)
 	runParallelCtx(ctx, workers, tasks, func(t int) {
@@ -318,13 +327,20 @@ func mustTraceKey(rc RunConfig) string {
 }
 
 // replayLanes replays up to maxBatchLanes candidate traces in lockstep
-// through the multi-lane PDN kernel, writing slot results into ms/errs.
-// Each lane folds the kernel's bit-identical voltage stream through the
-// same replayFold as the serial replay, so a lane result matches
-// cp.replay of the same job exactly. Lanes retire independently as
-// their traces run out (swap-remove, mirroring pdn.Batch.DropLane). A
-// single-job group falls back to the serial replay: a one-lane kernel
-// pass costs more than the tuned single-lane StepTrace.
+// through the multi-lane PDN kernel — the exact kernel by default, the
+// reduced-order kernel when the platform tolerance admits the whole
+// batch — writing slot results into ms/errs. Each lane folds the
+// kernel's voltage stream through the same replayFold as the serial
+// replay; on the exact kernel a lane result matches cp.replay of the
+// same job bit for bit, and on the ROM it matches the serial ROM
+// replay bit for bit (one lane's over-tolerance trace can demote a
+// batch to exact while the serial path would have taken the ROM, so
+// with ROMTolV enabled batch-vs-serial agreement is to the declared
+// tolerance, not bitwise — exactly the contract ROMTolV states).
+// Lanes retire independently as their traces run out (swap-remove,
+// mirroring pdn.Batch.DropLane). A single-job group falls back to the
+// serial replay: a one-lane kernel pass costs more than the tuned
+// single-lane StepTrace.
 func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs []error) {
 	L := len(jobs)
 	if L == 0 {
@@ -352,7 +368,6 @@ func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs 
 		cyc  uint64
 		vbuf []float64
 	}
-	pb := cp.net.NewBatch(L)
 	states := make([]*lane, L)
 	muls := make([]float64, L)
 	divs := make([]float64, L)
@@ -364,9 +379,6 @@ func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs 
 		if j.rc.SupplyVolts > 0 {
 			supply = j.rc.SupplyVolts
 		}
-		net := cp.getNet(j.rc.SupplyVolts)
-		pb.LoadLane(l, net)
-		cp.net.Put(net)
 		m := &Measurement{MinV: supply}
 		states[l] = &lane{
 			job:  j,
@@ -375,6 +387,36 @@ func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs 
 			vbuf: cp.getVBuf(replayChunk),
 		}
 		muls[l], divs[l], adds[l] = 1e-12, dt*supply, p.Power.LeakageAmps(p.Chip.Modules, supply)
+	}
+	// Kernel choice is batch-level, all-or-nothing: every lane job is a
+	// non-periodic full stream (periodic traces went solo), so the batch
+	// rides the reduced-order kernel only when the platform tolerance
+	// admits every lane's peak drive. Mixing kernels per lane would
+	// complicate retirement for no gain — a single over-tolerance lane
+	// is rare (it implies an outlier trace amplitude).
+	var pb *pdn.Batch
+	var rb *pdn.ROMBatch
+	useROM := cp.p.ROMTolV > 0
+	for l, j := range jobs {
+		if !useROM {
+			break
+		}
+		useROM = cp.romOK(j.tr, divs[l], adds[l])
+	}
+	if useROM {
+		rb, _ = cp.net.NewROMBatch(L) // romOK verified the ROM compiles
+	} else {
+		pb = cp.net.NewBatch(L)
+	}
+	cp.traces.noteReplays(L, useROM)
+	for l, j := range jobs {
+		net := cp.getNet(j.rc.SupplyVolts)
+		if rb != nil {
+			rb.LoadLane(l, net, adds[l])
+		} else {
+			pb.LoadLane(l, net)
+		}
+		cp.net.Put(net)
 	}
 	finish := func(st *lane) {
 		st.fold.finish(st.job.tr, st.N, dt)
@@ -390,7 +432,11 @@ func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs 
 				continue
 			}
 			finish(states[l])
-			pb.DropLane(l)
+			if rb != nil {
+				rb.DropLane(l)
+			} else {
+				pb.DropLane(l)
+			}
 			last := len(states) - 1
 			states[l] = states[last]
 			muls[l], divs[l], adds[l] = muls[last], divs[last], adds[last]
@@ -410,10 +456,81 @@ func (cp *CompiledPlatform) replayLanes(jobs []laneJob, ms []*Measurement, errs 
 			dsts[l] = st.vbuf[:n]
 			srcs[l] = st.job.tr.energy[st.cyc : st.cyc+n]
 		}
-		pb.StepTraceBatch(dsts[:w], srcs[:w], muls[:w], divs[:w], adds[:w], int(n))
+		if rb != nil {
+			rb.StepTraceBatch(dsts[:w], srcs[:w], muls[:w], divs[:w], int(n))
+		} else {
+			pb.StepTraceBatch(dsts[:w], srcs[:w], muls[:w], divs[:w], adds[:w], int(n))
+		}
 		for l, st := range states {
 			st.fold.scan(st.cyc, srcs[l], st.job.tr.issues[st.cyc:st.cyc+n], dsts[l])
 			st.cyc += n
 		}
 	}
+}
+
+// autoLanes picks the multi-lane kernel width for a generation of
+// `jobs` lane-eligible replays over `workers` goroutines. The fixed
+// default width idles workers whenever the job count doesn't cover
+// workers × lanes (the BENCH_eval L8xW8 > L4xW8 regression: 32 jobs at
+// 8 lanes is only 4 batches over 8 workers), so the width starts from
+// the narrowest value that still gives every worker a batch,
+// ceil(jobs/workers), and is then clamped to the platform's measured
+// best kernel width once batches are deep enough for the clamp to
+// matter. The width only moves throughput, never results.
+func (cp *CompiledPlatform) autoLanes(jobs, workers int) int {
+	if jobs <= 1 {
+		return 1
+	}
+	L := (jobs + workers - 1) / workers
+	if L <= 1 {
+		return 1
+	}
+	if L > 4 {
+		if w := cp.kernelLanes(); L > w {
+			L = w
+		}
+	}
+	if L > maxBatchLanes {
+		L = maxBatchLanes
+	}
+	return L
+}
+
+// kernelLanes measures, once per platform, which lane width gives the
+// exact multi-lane kernel its best per-lane throughput on this
+// machine, over a short synthetic drive. The exact kernel is the one
+// calibrated — it dominates wherever the width choice matters, and the
+// reduced-order kernel's per-lane cost is width-flat so any clamp is
+// safe for it. The measurement is wall-clock derived but feeds only
+// the width choice, which never affects results.
+func (cp *CompiledPlatform) kernelLanes() int {
+	cp.laneOnce.Do(func() {
+		const steps = 1024
+		src := make([]float64, steps)
+		for i := range src {
+			src[i] = 20 + 10*math.Sin(2*math.Pi*float64(i)/36)
+		}
+		best, bestNS := DefaultBatchLanes, math.MaxFloat64
+		for _, w := range []int{4, 8, 16, 32} {
+			pb := cp.net.NewBatch(w)
+			dst := make([][]float64, w)
+			srcs := make([][]float64, w)
+			mul := make([]float64, w)
+			div := make([]float64, w)
+			add := make([]float64, w)
+			for l := 0; l < w; l++ {
+				dst[l] = make([]float64, steps)
+				srcs[l] = src
+				mul[l], div[l], add[l] = 1, 1, 0
+			}
+			start := time.Now()
+			pb.StepTraceBatch(dst, srcs, mul, div, add, steps)
+			perLane := float64(time.Since(start).Nanoseconds()) / float64(w)
+			if perLane < bestNS {
+				best, bestNS = w, perLane
+			}
+		}
+		cp.laneWidth = best
+	})
+	return cp.laneWidth
 }

@@ -46,6 +46,29 @@ type CompiledPlatform struct {
 	// every store key (see store.go).
 	store     *tracestore.Store
 	storeSalt []byte
+
+	// laneOnce/laneWidth cache the measured best multi-lane kernel
+	// width for `-batch-lanes auto` (see kernelLanes in batch.go).
+	laneOnce  sync.Once
+	laneWidth int
+}
+
+// romOK reports whether the platform's declared voltage tolerance
+// admits the reduced-order kernel for a replay of tr at the given amps
+// conversion (div = dt·supply, add = leakage amps): the ROM must have
+// compiled and its calibrated per-amp error bound, scaled by the
+// trace's peak drive current, must stay within Platform.ROMTolV.
+func (cp *CompiledPlatform) romOK(tr *chipTrace, div, add float64) bool {
+	tol := cp.p.ROMTolV
+	if tol <= 0 {
+		return false
+	}
+	r, err := cp.net.ROM()
+	if err != nil {
+		return false
+	}
+	maxAmp := tr.maxEnergy*1e-12/div + add
+	return r.ErrPerAmpV()*maxAmp <= tol
 }
 
 // Compile validates the platform once and builds the shared immutable

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/isa"
+	"repro/internal/pdn"
 	"repro/internal/scope"
 )
 
@@ -224,6 +225,17 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 	}
 	vbuf := cp.getVBuf(int(bufLen))
 
+	// Full (non-periodic) traces are one straight stream with no state
+	// handoff to the affine-period machinery, so they may ride the
+	// reduced-order kernel when the platform's tolerance admits it.
+	// Periodic replays keep the exact kernel: their affine probes and
+	// boundary extrapolation are built on its state vector.
+	var rom *pdn.ROMState
+	if !tr.periodic && cp.romOK(tr, div, leakage) {
+		rom, _ = cp.net.NewROMState(net, leakage)
+	}
+	cp.traces.noteReplays(1, rom != nil)
+
 	// Stored entries, streamed straight through.
 	cyc := uint64(0)
 	directEnd := head
@@ -237,7 +249,11 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 		}
 		es := tr.energy[cyc : cyc+n]
 		qs := tr.issues[cyc : cyc+n]
-		net.StepTrace(vbuf[:n], es, 1e-12, div, leakage)
+		if rom != nil {
+			rom.StepTrace(vbuf[:n], es, 1e-12, div)
+		} else {
+			net.StepTrace(vbuf[:n], es, 1e-12, div, leakage)
+		}
 		fold.scan(cyc, es, qs, vbuf[:n])
 		cyc += n
 	}

@@ -44,8 +44,17 @@ func captureDigest(p Platform) []byte {
 // test in digest_test.go makes that an explicit event (update the
 // goldens, re-baseline corpora) rather than a silent one.
 func PlatformDigest(p Platform) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf(
-		"%#v\x00%#v\x00%#v\x00%#v", p.Chip, p.Power, p.PDN, p.Failure)))
+	s := fmt.Sprintf("%#v\x00%#v\x00%#v\x00%#v", p.Chip, p.Power, p.PDN, p.Failure)
+	if p.ROMTolV != 0 {
+		// An enabled ROM tolerance can move measured voltages (within
+		// its bound), so it is platform identity and corpus replays
+		// against a different tolerance must classify as platform skew.
+		// The suffix appears only when non-zero, keeping every
+		// exact-platform digest — and every corpus baselined on one —
+		// stable across this addition.
+		s += fmt.Sprintf("\x00rom:%g", p.ROMTolV)
+	}
+	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -151,5 +160,6 @@ func traceFromRecord(rec *tracestore.Record) *chipTrace {
 	} else {
 		tr.endStats, tr.endRetired = statsFromWords(rec.EndStats), rec.EndRetired
 	}
+	tr.noteMaxEnergy()
 	return tr
 }

@@ -31,6 +31,15 @@ type Platform struct {
 	Power   power.Model
 	PDN     pdn.Config
 	Failure FailureModel
+
+	// ROMTolV, when positive, admits the reduced-order PDN replay
+	// kernel (pdn.Compiled.ROM) for traces whose calibrated worst-case
+	// die-voltage deviation from the exact kernel — ErrPerAmpV × peak
+	// drive amps — stays within this many volts. Zero, the default,
+	// keeps every replay on the exact bit-identity LU kernel. A
+	// non-zero tolerance is part of the platform identity (it can move
+	// measured voltages within the bound): see PlatformDigest.
+	ROMTolV float64
 }
 
 // Bulldozer returns the paper's primary test system.

@@ -103,6 +103,23 @@ type chipTrace struct {
 	// Pre-aggregated period totals for closed-form extrapolation.
 	periodEnergy float64
 	periodIssues [isa.NumUnits]uint64
+
+	// maxEnergy is the largest per-cycle energy in the stored trace
+	// (pJ) — with the amps conversion it bounds the replay's peak drive
+	// current, which gates the reduced-order kernel against the
+	// platform's declared voltage tolerance.
+	maxEnergy float64
+}
+
+// noteMaxEnergy recomputes maxEnergy over the stored entries.
+func (tr *chipTrace) noteMaxEnergy() {
+	m := 0.0
+	for _, e := range tr.energy {
+		if e > m {
+			m = e
+		}
+	}
+	tr.maxEnergy = m
 }
 
 // sizeBytes approximates the trace's cache footprint.
@@ -330,6 +347,7 @@ func (cp *CompiledPlatform) buildTrace(rc RunConfig) (*chipTrace, error) {
 	if !tr.periodic {
 		tr.endStats, tr.endRetired = chip.Stats(), chip.Retired()
 	}
+	tr.noteMaxEnergy()
 	cp.chips.Put(chip)
 	return tr, nil
 }
@@ -404,6 +422,10 @@ type TraceStats struct {
 	// and LaneBatches the passes themselves, so LaneRuns/LaneBatches is
 	// the mean lane occupancy the pipeline achieved.
 	LaneRuns, LaneBatches uint64
+	// ROMReplays and ExactReplays split phase-2 PDN replays by kernel:
+	// the reduced-order modal kernel (admitted when Platform.ROMTolV
+	// covers the trace's worst-case error) versus the exact LU kernel.
+	ROMReplays, ExactReplays uint64
 	// StoreHits and StoreMisses count persistent trace-store lookups —
 	// consulted only when the in-memory cache misses and a store is
 	// attached (SetTraceStore). A store hit skips phase 1 entirely.
@@ -443,6 +465,18 @@ type traceCache struct {
 	batchRuns, laneRuns, laneBatches   uint64
 	storeHits, storeMisses             uint64
 	captureNS, replayNS                uint64
+	romReplays, exactReplays           uint64
+}
+
+// noteReplays records n phase-2 replays on the ROM or exact kernel.
+func (tc *traceCache) noteReplays(n int, rom bool) {
+	tc.mu.Lock()
+	if rom {
+		tc.romReplays += uint64(n)
+	} else {
+		tc.exactReplays += uint64(n)
+	}
+	tc.mu.Unlock()
 }
 
 func (tc *traceCache) get(key string) *chipTrace {
@@ -584,6 +618,7 @@ func (tc *traceCache) stats() TraceStats {
 	s := TraceStats{Hits: tc.hits, Misses: tc.misses, MemoHits: tc.memoHits,
 		PDNEarlyExits: tc.earlyExits, BatchRuns: tc.batchRuns,
 		LaneRuns: tc.laneRuns, LaneBatches: tc.laneBatches,
+		ROMReplays: tc.romReplays, ExactReplays: tc.exactReplays,
 		StoreHits: tc.storeHits, StoreMisses: tc.storeMisses,
 		CaptureNS: tc.captureNS, ReplayNS: tc.replayNS, Bytes: tc.used}
 	for _, tr := range tc.m {

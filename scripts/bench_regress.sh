@@ -30,6 +30,8 @@ gated=(
   BenchmarkMeasureExactVsReplay
   BenchmarkMedianOfKReplay
   BenchmarkStepTrace
+  BenchmarkStepTraceBatch
+  BenchmarkStepTraceBatchROM
   BenchmarkTraceStoreWarmVsCold
 )
 pattern="$(IFS='|'; echo "${gated[*]}")"
@@ -39,7 +41,7 @@ trap 'rm -f "$out"' EXIT
 
 go test -run '^$' -bench "$pattern" \
   -benchmem -benchtime "${BENCHTIME:-2s}" -count=1 \
-  ./internal/cpu/ ./internal/testbed/ ./internal/core/ ./internal/pdn/ | tee "$out"
+  ./internal/cpu/ ./internal/testbed/ ./internal/core/ ./internal/pdn/ ./internal/circuit/ | tee "$out"
 
 missing=0
 for b in "${gated[@]}"; do

@@ -42,6 +42,13 @@
 //	-worker-id   stable worker name (default host.pid)
 //	-worker-par  capture parallelism per leased unit (default 1)
 //
+// In worker mode the coordinator's trace tier is consulted
+// automatically: traces another worker already captured are fetched in
+// compressed form over /v1/trace instead of recaptured, and fresh
+// captures are published back. -trace-store additionally keeps a local
+// on-disk store in front of the tier, so a restarted worker warms up
+// without touching the network.
+//
 // A search with -checkpoint survives Ctrl-C: the interrupted run exits
 // cleanly and `audit -resume <checkpoint>` finishes it bit-identically
 // to an uninterrupted run.
@@ -70,6 +77,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/report"
 	"repro/internal/testbed"
+	"repro/internal/tracestore"
 )
 
 type cliOptions struct {
@@ -391,6 +399,28 @@ func runWorker(ctx context.Context, c cliOptions) error {
 	if err != nil {
 		return err
 	}
+	if c.traceStore != "" {
+		st, err := tracestore.Open(c.traceStore, 0)
+		if err != nil {
+			return fmt.Errorf("trace store: %w", err)
+		}
+		cp.SetTraceStore(st)
+	}
+	// The coordinator's trace tier sits below the local store: traces a
+	// peer already captured arrive compressed over the wire, and fresh
+	// captures are published for the rest of the pool. A coordinator
+	// without a trace store answers 404 and every lookup degrades to a
+	// local capture.
+	tier, err := dist.NewTraceTierClient(dist.TraceTierConfig{
+		BaseURL: c.coordinator, WorkerID: id,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	cp.SetTraceTier(tier)
 	w, err := dist.NewWorker(dist.WorkerConfig{
 		ID:       id,
 		BaseURL:  c.coordinator,
@@ -409,7 +439,24 @@ func runWorker(ctx context.Context, c cliOptions) error {
 	st := w.Stats()
 	fmt.Fprintf(os.Stderr, "audit: worker %s done: %d units, %d abandoned, %d failures, %d rpc retries\n",
 		id, st.Units, st.Abandoned, st.Failures, st.RPCRetries)
+	if ts := cp.TraceStats(); ts.TierHits+ts.TierMisses+ts.Captures > 0 {
+		fmt.Fprintf(os.Stderr, "audit: worker %s traces: %d captured, %d tier hits, %d store hits, %s on the wire, capture time saved %s\n",
+			id, ts.Captures, ts.TierHits, ts.StoreHits, wireBytes(ts.WireBytes),
+			time.Duration(ts.CaptureNSSaved).Round(time.Millisecond))
+	}
 	return err
+}
+
+// wireBytes renders a byte count with a binary unit.
+func wireBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func runHetero(ctx context.Context, c cliOptions, plat audit.Platform, opts audit.Options, stats func() *audit.FaultStats) error {
@@ -554,6 +601,16 @@ func printThroughput(evals int, elapsed time.Duration, hits, misses int, ts audi
 	}
 	if tot := ts.StoreHits + ts.StoreMisses; tot > 0 {
 		fmt.Fprintf(os.Stderr, ", trace-store hits %d/%d", ts.StoreHits, tot)
+	}
+	if tot := ts.TierHits + ts.TierMisses; tot > 0 {
+		fmt.Fprintf(os.Stderr, ", trace-tier hits %d/%d", ts.TierHits, tot)
+	}
+	if ts.WireBytes > 0 {
+		fmt.Fprintf(os.Stderr, ", wire %s", wireBytes(ts.WireBytes))
+	}
+	if ts.CaptureNSSaved > 0 {
+		fmt.Fprintf(os.Stderr, ", capture saved %s",
+			time.Duration(ts.CaptureNSSaved).Round(time.Millisecond))
 	}
 	if ts.CaptureNS+ts.ReplayNS > 0 {
 		fmt.Fprintf(os.Stderr, ", capture %s / replay %s",

@@ -27,6 +27,11 @@
 //	-unit-size  run configs per work unit     (default 4)
 //	-lease-ttl  lease deadline; heartbeats extend it (default 3s)
 //	-min-workers wait for this many workers before searching (default 0)
+//	-trace-store persist chip traces in this directory AND serve them to
+//	            workers over /v1/trace: each distinct trace is captured
+//	            once somewhere in the pool, published compressed, and
+//	            replayed everywhere else; a warm directory carries whole
+//	            searches with zero recaptures
 //	-rom-tol    volts of PDN replay error admitting the reduced-order
 //	            kernel (0 = off); part of the platform digest, so
 //	            workers must be started with the same value
@@ -62,6 +67,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/ga"
 	"repro/internal/testbed"
+	"repro/internal/tracestore"
 )
 
 type daemonOptions struct {
@@ -76,6 +82,7 @@ type daemonOptions struct {
 	unitSize           int
 	leaseTTL           time.Duration
 	minWorkers         int
+	traceStore         string
 	romTol             float64
 	batchLanes         string
 	verbose            bool
@@ -99,6 +106,7 @@ func main() {
 	flag.IntVar(&c.unitSize, "unit-size", 0, "run configs per work unit (0 = default 4)")
 	flag.DurationVar(&c.leaseTTL, "lease-ttl", 0, "lease deadline; heartbeats extend it (0 = default 3s)")
 	flag.IntVar(&c.minWorkers, "min-workers", 0, "wait for this many registered workers before searching")
+	flag.StringVar(&c.traceStore, "trace-store", "", "persist chip traces in this directory and serve them to workers over /v1/trace")
 	flag.Float64Var(&c.romTol, "rom-tol", 0, "volts of PDN replay error admitting the reduced-order kernel (0 = exact replay only)")
 	flag.StringVar(&c.batchLanes, "batch-lanes", "auto", "replay lanes per batched generation: auto, a fixed width, or negative to disable batching")
 	flag.BoolVar(&c.verbose, "v", false, "log lease traffic to stderr")
@@ -176,6 +184,17 @@ func run(ctx context.Context, c daemonOptions) error {
 		}
 	}
 
+	// With -trace-store the coordinator both persists its own captures
+	// there (via TraceStorePath on the local platform) and serves the
+	// directory to workers over /v1/trace. Two handles on one directory
+	// race benignly: same key, same bytes, atomic renames.
+	var coordStore *tracestore.Store
+	if c.traceStore != "" {
+		if coordStore, err = tracestore.Open(c.traceStore, 0); err != nil {
+			return fmt.Errorf("trace store: %w", err)
+		}
+	}
+
 	var co *dist.Coordinator
 	opts := core.Options{
 		Platform:       plat,
@@ -185,6 +204,7 @@ func run(ctx context.Context, c daemonOptions) error {
 		SubBlockCycles: c.subblock,
 		CheckpointPath: c.checkpoint,
 		BatchLanes:     lanes,
+		TraceStorePath: c.traceStore,
 		GA: ga.Config{
 			PopSize: c.pop, Elites: 2, TournamentK: 3,
 			MutationProb: 0.6, MaxGenerations: c.gens, StagnantLimit: 6,
@@ -202,11 +222,12 @@ func run(ctx context.Context, c daemonOptions) error {
 			}
 			var err error
 			co, err = dist.NewCoordinator(dist.Config{
-				Local:    local,
-				Platform: testbed.PlatformDigest(plat),
-				UnitSize: c.unitSize,
-				LeaseTTL: c.leaseTTL,
-				Logf:     logf,
+				Local:      local,
+				Platform:   testbed.PlatformDigest(plat),
+				UnitSize:   c.unitSize,
+				LeaseTTL:   c.leaseTTL,
+				TraceStore: coordStore,
+				Logf:       logf,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "auditd:", err)
@@ -241,13 +262,22 @@ func run(ctx context.Context, c daemonOptions) error {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("GA: %d evaluations over %d generations in %s\n",
-		sm.Search.Evaluations, sm.Search.Generations, elapsed.Round(time.Millisecond))
+	// stdout carries only the deterministic search outcome — it must be
+	// byte-identical across same-flag runs, whatever the pool did and
+	// however warm the trace tier was. Timing and distribution telemetry
+	// go to stderr.
+	fmt.Printf("GA: %d evaluations over %d generations\n",
+		sm.Search.Evaluations, sm.Search.Generations)
+	fmt.Fprintf(os.Stderr, "auditd: search took %s\n", elapsed.Round(time.Millisecond))
 	if co != nil {
 		st := co.Stats()
-		fmt.Printf("dist: %d units remote, %d local, %d lease expiries, %d requeues, %d duplicate results, %d suspensions, %d evictions\n",
+		fmt.Fprintf(os.Stderr, "dist: %d units remote, %d local, %d lease expiries, %d requeues, %d duplicate results, %d suspensions, %d evictions\n",
 			st.UnitsRemote, st.UnitsLocal, st.LeaseExpiries, st.Requeues,
 			st.DuplicateResults, st.Suspensions, st.Evictions)
+		if ts := co.TraceTierStats(); ts.Hits+ts.Claims+ts.Puts > 0 {
+			fmt.Fprintf(os.Stderr, "trace-tier: %d hits, %d capture claims, %d waits, %d publishes, %d claim steals, %d wire bytes\n",
+				ts.Hits, ts.Claims, ts.Waits, ts.Puts, ts.ClaimSteals, ts.WireBytes)
+		}
 	}
 	fmt.Printf("best droop: %.1f mV (loop %d cycles)\n", sm.DroopV*1e3, sm.LoopCycles)
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/testbed"
+	"repro/internal/tracestore"
 )
 
 // The chaos suite runs REAL worker processes (re-executions of this
@@ -49,6 +50,20 @@ func TestDistWorkerProcess(t *testing.T) {
 	cp, err := testbed.Bulldozer().Compile()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if os.Getenv("AUDIT_DIST_TRACE") == "1" {
+		// The trace tier rides the same faulty transport as the control
+		// RPCs: fetches and publishes get dropped, stalled and duplicated
+		// too, and a SIGKILL can land while this process owns a capture
+		// claim or is mid-publish.
+		tc, err := NewTraceTierClient(TraceTierConfig{
+			BaseURL: url, WorkerID: id,
+			HTTPClient: client, LeaseTTL: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp.SetTraceTier(tc)
 	}
 	w, err := NewWorker(WorkerConfig{
 		ID: id, BaseURL: url, Runner: cp,
@@ -86,6 +101,7 @@ func (p *procPool) spawn() {
 		"AUDIT_DIST_WORKER=1",
 		"AUDIT_DIST_URL="+p.url,
 		"AUDIT_DIST_ID="+id,
+		"AUDIT_DIST_TRACE=1",
 		fmt.Sprintf("AUDIT_DIST_NETSEED=%d", p.netSeed+int64(p.nextID)),
 	)
 	cmd.Stdout = nil
@@ -148,14 +164,23 @@ func TestChaosSIGKILLEveryGeneration(t *testing.T) {
 	opt := searchOptions(ckpt)
 	var co *Coordinator
 	var pool *procPool
+	// The workers share traces through the coordinator's store, with the
+	// data plane subject to the same network faults and SIGKILLs as the
+	// control plane — including kills that land while a worker owns a
+	// capture claim or is mid-publish.
+	traceStore, err := tracestore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opt.WrapRunner = func(r testbed.Runner) testbed.Runner {
 		var err error
 		co, err = NewCoordinator(Config{
-			Local:    r.(LocalRunner),
-			Platform: testbed.PlatformDigest(testbed.Bulldozer()),
-			UnitSize: 2,
-			LeaseTTL: 200 * time.Millisecond,
-			Logf:     t.Logf,
+			Local:      r.(LocalRunner),
+			Platform:   testbed.PlatformDigest(testbed.Bulldozer()),
+			UnitSize:   2,
+			LeaseTTL:   200 * time.Millisecond,
+			TraceStore: traceStore,
+			Logf:       t.Logf,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/testbed"
+	"repro/internal/tracestore"
 )
 
 // LocalRunner is what the coordinator needs from its own measurement
@@ -50,6 +51,12 @@ type Config struct {
 	// is evicted permanently (default 5). A fresh registration under
 	// the same ID (a restarted process) starts clean.
 	MaxSuspensions int
+	// TraceStore, when non-nil, backs the shared trace tier: the
+	// coordinator serves and accepts compressed trace records on
+	// /v1/trace and single-flights concurrent captures of one key
+	// across the worker pool. Point it at the same store the local
+	// platform uses so locally-evaluated units populate the tier too.
+	TraceStore *tracestore.Store
 	// Logf, when non-nil, receives coordinator events (lease expiry,
 	// suspension, degradation to local).
 	Logf func(format string, args ...any)
@@ -153,6 +160,11 @@ type Coordinator struct {
 	nextUnit  uint64
 	nextBatch uint64
 	stats     Stats
+
+	// flights tracks in-flight trace captures by content address (see
+	// trace.go); traceStats counts the tier's traffic.
+	flights    map[string]*flight
+	traceStats TraceTierStats
 }
 
 // NewCoordinator builds a coordinator around a local platform.
@@ -166,6 +178,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		now:     time.Now,
 		workers: make(map[string]*workerState),
 		units:   make(map[uint64]*unit),
+		flights: make(map[string]*flight),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
@@ -511,13 +524,17 @@ func (c *Coordinator) runLocal(ctx context.Context, u *unit, lanes, workers int)
 }
 
 // Handler returns the coordinator's HTTP API: the four worker-facing
-// endpoints, all POST + JSON.
+// control endpoints (POST + JSON) and, when a trace store is
+// configured, the binary trace data plane on /v1/trace.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/register", jsonEndpoint(c.register))
 	mux.HandleFunc("/v1/lease", jsonEndpoint(c.lease))
 	mux.HandleFunc("/v1/heartbeat", jsonEndpoint(c.heartbeat))
 	mux.HandleFunc("/v1/result", jsonEndpoint(c.result))
+	if c.cfg.TraceStore != nil {
+		mux.HandleFunc("/v1/trace", c.traceHandler)
+	}
 	return mux
 }
 

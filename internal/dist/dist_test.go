@@ -18,7 +18,7 @@ import (
 )
 
 // compiled builds a fresh compiled Bulldozer platform.
-func compiled(t *testing.T) *testbed.CompiledPlatform {
+func compiled(t testing.TB) *testbed.CompiledPlatform {
 	t.Helper()
 	cp, err := testbed.Bulldozer().Compile()
 	if err != nil {
@@ -29,7 +29,7 @@ func compiled(t *testing.T) *testbed.CompiledPlatform {
 
 // distSlate builds n distinct distributable run configurations around
 // real stressmark programs.
-func distSlate(t *testing.T, n int) []testbed.RunConfig {
+func distSlate(t testing.TB, n int) []testbed.RunConfig {
 	t.Helper()
 	p := testbed.Bulldozer()
 	rcs := make([]testbed.RunConfig, n)

@@ -211,17 +211,12 @@ func (cp *CompiledPlatform) MeasureBatchContext(ctx context.Context, rcs []RunCo
 	runParallelCtx(ctx, workers, len(missing), func(gi int) {
 		key := missing[gi]
 		members := groups[key]
-		tr := cp.storeLoad(key)
-		if tr == nil {
-			var err error
-			tr, err = cp.buildTrace(rcs[members[0]])
-			if err != nil {
-				for _, i := range members {
-					errs[i] = err
-				}
-				return
+		tr, err := cp.resolveTrace(key, rcs[members[0]])
+		if err != nil {
+			for _, i := range members {
+				errs[i] = err
 			}
-			cp.storeSave(key, tr)
+			return
 		}
 		cp.traces.put(key, tr)
 		readyMu.Lock()

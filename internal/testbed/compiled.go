@@ -42,9 +42,12 @@ type CompiledPlatform struct {
 	traces traceCache
 
 	// store, when attached, persists traces across processes beneath
-	// the in-memory cache; storeSalt is the platform digest prefixed to
-	// every store key (see store.go).
+	// the in-memory cache; tier, when attached, shares them across
+	// machines (resolution order: memory → store → tier → capture).
+	// storeSalt is the platform digest prefixed to every store and
+	// tier key (see store.go).
 	store     *tracestore.Store
+	tier      TraceTier
 	storeSalt []byte
 
 	// laneOnce/laneWidth cache the measured best multi-lane kernel
@@ -184,13 +187,9 @@ func (cp *CompiledPlatform) runReplay(rc RunConfig) (*Measurement, error) {
 	}
 	tr := cp.traces.get(key)
 	if tr == nil {
-		if tr = cp.storeLoad(key); tr == nil {
-			var err error
-			tr, err = cp.buildTrace(rc)
-			if err != nil {
-				return nil, err
-			}
-			cp.storeSave(key, tr)
+		var err error
+		if tr, err = cp.resolveTrace(key, rc); err != nil {
+			return nil, err
 		}
 		cp.traces.put(key, tr)
 	}

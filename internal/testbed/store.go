@@ -64,13 +64,38 @@ func PlatformDigest(p Platform) string {
 func (cp *CompiledPlatform) SetTraceStore(s *tracestore.Store) {
 	cp.store = s
 	cp.storeSalt = nil
-	if s != nil {
+	if s != nil || cp.tier != nil {
 		cp.storeSalt = captureDigest(cp.p)
 	}
 }
 
 // TraceStore returns the attached persistent store, or nil.
 func (cp *CompiledPlatform) TraceStore() *tracestore.Store { return cp.store }
+
+// TraceTier is a shared trace cache below the local persistent store —
+// in the distributed fabric, the coordinator's store served over
+// /v1/trace. Implementations must be safe for concurrent use.
+//
+// Fetch may block (bounded by the implementation) while another worker
+// holding the same key captures: ok=false always means "you capture" —
+// the tier may have registered a single-flight claim on the caller's
+// behalf, which the follow-up Publish releases. wire is the payload
+// bytes moved for the call (zero on a claim grant or an unreachable
+// tier), feeding TraceStats.WireBytes.
+type TraceTier interface {
+	Fetch(key []byte) (rec *tracestore.Record, wire int, ok bool)
+	Publish(key []byte, rec *tracestore.Record) (wire int)
+}
+
+// SetTraceTier attaches a shared trace tier, consulted after the local
+// store and written through alongside it. Call before the platform is
+// shared across goroutines; a nil tier detaches.
+func (cp *CompiledPlatform) SetTraceTier(t TraceTier) {
+	cp.tier = t
+	if cp.storeSalt == nil && (t != nil || cp.store != nil) {
+		cp.storeSalt = captureDigest(cp.p)
+	}
+}
 
 func (cp *CompiledPlatform) storeKeyBytes(key string) []byte {
 	b := make([]byte, 0, len(cp.storeSalt)+len(key))
@@ -79,28 +104,73 @@ func (cp *CompiledPlatform) storeKeyBytes(key string) []byte {
 }
 
 // storeLoad consults the persistent store for a trace missing from
-// memory. Any store-side failure is a miss; nil means "capture it".
+// memory. Any store-side failure is a miss; nil means "keep resolving".
 func (cp *CompiledPlatform) storeLoad(key string) *chipTrace {
 	if cp.store == nil {
 		return nil
 	}
 	rec, ok := cp.store.Get(cp.storeKeyBytes(key))
 	if !ok {
-		cp.traces.noteStore(false)
+		cp.traces.noteStore(false, 0)
 		return nil
 	}
-	cp.traces.noteStore(true)
+	cp.traces.noteStore(true, rec.CaptureNS)
 	return traceFromRecord(rec)
 }
 
-// storeSave writes a fresh capture through to the persistent store,
-// best-effort: a full disk or unwritable directory costs nothing but
-// the warm start.
+// tierLoad consults the shared trace tier. A hit is written through to
+// the local store so the next cold start of this worker skips the wire.
+func (cp *CompiledPlatform) tierLoad(key string) *chipTrace {
+	if cp.tier == nil {
+		return nil
+	}
+	rec, wire, ok := cp.tier.Fetch(cp.storeKeyBytes(key))
+	if !ok {
+		cp.traces.noteTier(false, 0, uint64(wire))
+		return nil
+	}
+	cp.traces.noteTier(true, rec.CaptureNS, uint64(wire))
+	if cp.store != nil {
+		cp.store.Put(cp.storeKeyBytes(key), rec)
+	}
+	return traceFromRecord(rec)
+}
+
+// storeSave writes a fresh capture through to the persistent store and
+// the shared tier, best-effort: a full disk or unreachable coordinator
+// costs nothing but the warm start. The tier Publish also releases any
+// single-flight claim the preceding Fetch registered.
 func (cp *CompiledPlatform) storeSave(key string, tr *chipTrace) {
-	if cp.store == nil {
+	if cp.store == nil && cp.tier == nil {
 		return
 	}
-	cp.store.Put(cp.storeKeyBytes(key), recordFromTrace(tr))
+	rec := recordFromTrace(tr)
+	if cp.store != nil {
+		cp.store.Put(cp.storeKeyBytes(key), rec)
+	}
+	if cp.tier != nil {
+		wire := cp.tier.Publish(cp.storeKeyBytes(key), rec)
+		cp.traces.noteWire(uint64(wire))
+	}
+}
+
+// resolveTrace is the full miss path for a trace absent from memory:
+// local store, then shared tier, then phase-1 capture with
+// write-through to both. The result is identical whichever level
+// serves it — the levels only change who pays the capture.
+func (cp *CompiledPlatform) resolveTrace(key string, rc RunConfig) (*chipTrace, error) {
+	if tr := cp.storeLoad(key); tr != nil {
+		return tr, nil
+	}
+	if tr := cp.tierLoad(key); tr != nil {
+		return tr, nil
+	}
+	tr, err := cp.buildTrace(rc)
+	if err != nil {
+		return nil, err
+	}
+	cp.storeSave(key, tr)
+	return tr, nil
 }
 
 func statsToWords(s cpu.Stats) [8]uint64 {
@@ -117,6 +187,7 @@ func statsFromWords(w [8]uint64) cpu.Stats {
 // immutable, so the record may alias its slices.
 func recordFromTrace(tr *chipTrace) *tracestore.Record {
 	return &tracestore.Record{
+		CaptureNS:   tr.captureNS,
 		Energy:      tr.energy,
 		Issues:      tr.issues,
 		Done:        tr.done,
@@ -143,6 +214,7 @@ func traceFromRecord(rec *tracestore.Record) *chipTrace {
 		issues:      rec.Issues,
 		done:        rec.Done,
 		unsupported: rec.Unsupported,
+		captureNS:   rec.CaptureNS,
 	}
 	if rec.Periodic {
 		tr.periodic = true

@@ -109,6 +109,13 @@ type chipTrace struct {
 	// current, which gates the reduced-order kernel against the
 	// platform's declared voltage tolerance.
 	maxEnergy float64
+
+	// captureNS is how long phase-1 capture of this trace took (zero
+	// when unknown, e.g. loaded from a v1 record). Telemetry only: it
+	// travels with the record so store and tier hits can report how
+	// much capture time they saved, and never touches any
+	// deterministic output.
+	captureNS uint64
 }
 
 // noteMaxEnergy recomputes maxEnergy over the stored entries.
@@ -260,8 +267,15 @@ func mix64(h, v uint64) uint64 {
 // verified. It mirrors Platform.measure's chip-side ordering exactly —
 // start-skew stalls, Done check, dither injections, Step — so a replay
 // of the trace is bit-identical to the exact loop.
-func (cp *CompiledPlatform) buildTrace(rc RunConfig) (*chipTrace, error) {
-	defer cp.traces.addCaptureNS(time.Now())
+func (cp *CompiledPlatform) buildTrace(rc RunConfig) (tr_ *chipTrace, err_ error) {
+	start := time.Now()
+	defer func() {
+		d := uint64(time.Since(start).Nanoseconds())
+		if tr_ != nil {
+			tr_.captureNS = d
+		}
+		cp.traces.noteCapture(d)
+	}()
 	chip, err := cp.getChip()
 	if err != nil {
 		return nil, err
@@ -430,6 +444,22 @@ type TraceStats struct {
 	// consulted only when the in-memory cache misses and a store is
 	// attached (SetTraceStore). A store hit skips phase 1 entirely.
 	StoreHits, StoreMisses uint64
+	// TierHits and TierMisses count shared trace-tier lookups
+	// (SetTraceTier) — consulted after the local store misses. A tier
+	// hit ships the compressed record over the wire instead of
+	// recapturing; a miss means this worker captures (it may hold the
+	// tier's single-flight claim for the key).
+	TierHits, TierMisses uint64
+	// WireBytes is the total encoded-record payload moved over the
+	// trace tier, both directions.
+	WireBytes uint64
+	// CaptureNSSaved sums the recorded phase-1 cost of every trace the
+	// store or tier served in place of a recapture — the data plane's
+	// dividend. Zero-cost for v1 records, which predate the telemetry.
+	CaptureNSSaved uint64
+	// Captures counts phase-1 buildTrace invocations — the recaptures
+	// the caches failed to prevent. A warm run reports zero.
+	Captures uint64
 	// CaptureNS and ReplayNS split the fast path's wall time between
 	// phase-1 capture (buildTrace) and phase-2 PDN replay, in
 	// nanoseconds summed across workers. Wall-clock derived: excluded
@@ -464,6 +494,8 @@ type traceCache struct {
 	hits, misses, memoHits, earlyExits uint64
 	batchRuns, laneRuns, laneBatches   uint64
 	storeHits, storeMisses             uint64
+	tierHits, tierMisses, wireBytes    uint64
+	captureSavedNS, captures           uint64
 	captureNS, replayNS                uint64
 	romReplays, exactReplays           uint64
 }
@@ -550,23 +582,43 @@ func (tc *traceCache) noteLaneBatch(n int) {
 	tc.mu.Unlock()
 }
 
-// noteStore records one persistent-store lookup.
-func (tc *traceCache) noteStore(hit bool) {
+// noteStore records one persistent-store lookup; a hit saves the
+// record's original capture cost.
+func (tc *traceCache) noteStore(hit bool, savedNS uint64) {
 	tc.mu.Lock()
 	if hit {
 		tc.storeHits++
+		tc.captureSavedNS += savedNS
 	} else {
 		tc.storeMisses++
 	}
 	tc.mu.Unlock()
 }
 
-// addCaptureNS charges elapsed time since start to phase-1 capture.
-// Used as `defer tc.addCaptureNS(time.Now())` so the argument pins the
-// start time when the defer is queued.
-func (tc *traceCache) addCaptureNS(start time.Time) {
-	d := uint64(time.Since(start).Nanoseconds())
+// noteTier records one shared-tier lookup and its wire traffic.
+func (tc *traceCache) noteTier(hit bool, savedNS, wire uint64) {
 	tc.mu.Lock()
+	if hit {
+		tc.tierHits++
+		tc.captureSavedNS += savedNS
+	} else {
+		tc.tierMisses++
+	}
+	tc.wireBytes += wire
+	tc.mu.Unlock()
+}
+
+// noteWire charges tier publish traffic.
+func (tc *traceCache) noteWire(wire uint64) {
+	tc.mu.Lock()
+	tc.wireBytes += wire
+	tc.mu.Unlock()
+}
+
+// noteCapture charges one phase-1 capture of duration d.
+func (tc *traceCache) noteCapture(d uint64) {
+	tc.mu.Lock()
+	tc.captures++
 	tc.captureNS += d
 	tc.mu.Unlock()
 }
@@ -620,6 +672,9 @@ func (tc *traceCache) stats() TraceStats {
 		LaneRuns: tc.laneRuns, LaneBatches: tc.laneBatches,
 		ROMReplays: tc.romReplays, ExactReplays: tc.exactReplays,
 		StoreHits: tc.storeHits, StoreMisses: tc.storeMisses,
+		TierHits: tc.tierHits, TierMisses: tc.tierMisses,
+		WireBytes: tc.wireBytes, CaptureNSSaved: tc.captureSavedNS,
+		Captures:  tc.captures,
 		CaptureNS: tc.captureNS, ReplayNS: tc.replayNS, Bytes: tc.used}
 	for _, tr := range tc.m {
 		if tr.periodic {

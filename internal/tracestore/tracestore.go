@@ -32,12 +32,16 @@ import (
 // DefaultMaxBytes bounds a store opened with maxBytes <= 0.
 const DefaultMaxBytes = 256 << 20
 
-// magic identifies the file format; bump the trailing version digit on
-// any serialization change and old files degrade to misses.
+// magic identifies the legacy v1 flat format. v1 files still decode
+// (Decode dispatches on the magic); fresh writes use the v2 compressed
+// format in encode.go. An unknown future version degrades to a miss.
 const magic = "AUDTRC1\n"
 
-// recordExt suffixes every record file; other names in the directory
-// (temp files mid-rename, stray files) are ignored by eviction.
+// recordExt suffixes every record file, v1 and v2 alike: the two
+// versions share one namespace (same content address, same extension),
+// so the byte-budget eviction scan and its just-written spare file
+// treat them identically and a mixed-version directory behaves as one
+// store.
 const recordExt = ".trace"
 
 // fixedCounters is the number of uint64 counter slots in a record's
@@ -68,6 +72,13 @@ type Record struct {
 	EndRetired uint64
 	RefRetired uint64
 	PerRetired uint64
+
+	// CaptureNS is how long phase-1 capture of this trace took, in
+	// nanoseconds (v2 records only; zero on v1 records and unknown
+	// captures). Telemetry, not identity: it feeds the "capture time
+	// saved" counter when a store or tier hit skips a recapture, and
+	// never participates in any deterministic output.
+	CaptureNS uint64
 }
 
 // Store is a byte-bounded directory of records. Safe for concurrent
@@ -100,10 +111,37 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Addr is the content address of a key: the hex SHA-256 of its bytes.
+// It is the record's filename stem in every store directory and the
+// form a key travels in over the distributed trace tier (keys embed
+// whole program encodings; the address is a fixed 64 characters).
+func Addr(key []byte) string {
+	sum := sha256.Sum256(key)
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidAddr rejects anything that is not a lowercase hex SHA-256 —
+// addresses arrive over the network and become file names, so this is
+// also the path-traversal guard.
+func ValidAddr(addr string) bool {
+	if len(addr) != 64 {
+		return false
+	}
+	for _, c := range addr {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // path maps key bytes to the record's content address.
 func (s *Store) path(key []byte) string {
-	sum := sha256.Sum256(key)
-	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+recordExt)
+	return s.addrPath(Addr(key))
+}
+
+func (s *Store) addrPath(addr string) string {
+	return filepath.Join(s.dir, addr+recordExt)
 }
 
 // Get loads the record stored under key. Every failure mode — absent,
@@ -111,39 +149,73 @@ func (s *Store) path(key []byte) string {
 // caller rebuilds and overwrites. A hit refreshes the file's mtime so
 // byte-budget eviction approximates LRU.
 func (s *Store) Get(key []byte) (*Record, bool) {
-	p := s.path(key)
-	blob, err := os.ReadFile(p)
-	if err != nil {
+	rec, _, ok := s.load(s.path(key))
+	return rec, ok
+}
+
+// GetRaw returns the validated encoded blob stored under addr (either
+// record version), for serving over the wire without a re-encode. Same
+// failure semantics as Get: anything unreadable is a miss, corrupt
+// files are unlinked.
+func (s *Store) GetRaw(addr string) ([]byte, bool) {
+	if !ValidAddr(addr) {
 		return nil, false
 	}
-	rec, ok := decode(blob)
+	_, blob, ok := s.load(s.addrPath(addr))
+	return blob, ok
+}
+
+// load reads and validates one record file, refreshing its mtime on
+// success and unlinking it on corruption.
+func (s *Store) load(p string) (*Record, []byte, bool) {
+	blob, err := os.ReadFile(p)
+	if err != nil {
+		return nil, nil, false
+	}
+	rec, ok := Decode(blob)
 	if !ok {
 		// A corrupt record will never read successfully again; drop it
 		// so it stops charging the byte budget.
 		os.Remove(p)
-		return nil, false
+		return nil, nil, false
 	}
 	now := time.Now()
 	os.Chtimes(p, now, now) // best-effort; eviction order only
-	return rec, true
+	return rec, blob, true
 }
 
 // Put stores rec under key, atomically, then enforces the byte budget.
 // Failures leave the store no worse than before; callers treating the
 // store as a cache may ignore the error.
 func (s *Store) Put(key []byte, rec *Record) error {
-	blob := encode(rec)
+	return s.write(s.path(key), Encode(rec))
+}
+
+// PutRaw stores an already-encoded blob (e.g. one received over the
+// trace tier) under addr after validating it decodes — a store must
+// never accept bytes it would later serve as corrupt.
+func (s *Store) PutRaw(addr string, blob []byte) error {
+	if !ValidAddr(addr) {
+		return fmt.Errorf("tracestore: invalid record address %q", addr)
+	}
+	if _, ok := Decode(blob); !ok {
+		return fmt.Errorf("tracestore: refusing to store undecodable record")
+	}
+	return s.write(s.addrPath(addr), blob)
+}
+
+func (s *Store) write(p string, blob []byte) error {
 	if int64(len(blob)) > s.maxBytes {
 		return fmt.Errorf("tracestore: record (%d bytes) exceeds store budget", len(blob))
 	}
-	err := fsutil.WriteFileAtomic(s.path(key), func(w io.Writer) error {
+	err := fsutil.WriteFileAtomic(p, func(w io.Writer) error {
 		_, werr := w.Write(blob)
 		return werr
 	})
 	if err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
-	s.evict(s.path(key))
+	s.evict(p)
 	return nil
 }
 
@@ -233,9 +305,13 @@ func (s *Store) evict(spare string) {
 	}
 }
 
-// encode serialises rec: magic, fixed-width header, the two per-cycle
-// arrays, and a trailing FNV-1a checksum over everything before it.
-func encode(rec *Record) []byte {
+// EncodeV1 serialises rec in the legacy v1 flat format: magic,
+// fixed-width header, the two per-cycle arrays, and a trailing FNV-1a
+// checksum over everything before it. Exported only so coexistence
+// tests (here and in higher layers) can fabricate the directories an
+// older binary would have written; production writes are v2 (Encode).
+// v1 cannot carry CaptureNS or unequal Energy/Issues lengths.
+func EncodeV1(rec *Record) []byte {
 	n := len(rec.Energy)
 	size := len(magic) + 8 /*flags*/ + 8 + 8 /*head,period*/ +
 		8*fixedCounters + 8 /*n*/ + 16*n + 8 /*checksum*/
@@ -272,9 +348,9 @@ func encode(rec *Record) []byte {
 	return appendU64(b, fnv1a(b))
 }
 
-// decode is encode's inverse; ok is false on any structural or
+// decodeV1 is encodeV1's inverse; ok is false on any structural or
 // checksum mismatch.
-func decode(blob []byte) (*Record, bool) {
+func decodeV1(blob []byte) (*Record, bool) {
 	minLen := len(magic) + 8*(3+fixedCounters) + 8 + 8
 	if len(blob) < minLen || string(blob[:len(magic)]) != magic {
 		return nil, false

@@ -44,7 +44,12 @@ func recordsEqual(a, b *Record) bool {
 		return false
 	}
 	for i := range a.Energy {
-		if math.Float64bits(a.Energy[i]) != math.Float64bits(b.Energy[i]) || a.Issues[i] != b.Issues[i] {
+		if math.Float64bits(a.Energy[i]) != math.Float64bits(b.Energy[i]) {
+			return false
+		}
+	}
+	for i := range a.Issues {
+		if a.Issues[i] != b.Issues[i] {
 			return false
 		}
 	}
@@ -140,8 +145,10 @@ func TestCorruptionIsAMiss(t *testing.T) {
 
 func TestEvictionByMtime(t *testing.T) {
 	dir := t.TempDir()
+	// v2 record sizes are content-dependent, so every key stores the
+	// same record: the budget math stays exact.
 	one := sampleRecord(64, 1)
-	oneSize := int64(len(encode(one)))
+	oneSize := int64(len(Encode(one)))
 	// Budget for three records, not four.
 	s, err := Open(dir, 3*oneSize)
 	if err != nil {
@@ -149,7 +156,7 @@ func TestEvictionByMtime(t *testing.T) {
 	}
 	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
 	for i, k := range keys[:3] {
-		if err := s.Put(k, sampleRecord(64, uint64(i))); err != nil {
+		if err := s.Put(k, one); err != nil {
 			t.Fatal(err)
 		}
 		// Distinct, strictly increasing mtimes without sleeping.
@@ -161,7 +168,7 @@ func TestEvictionByMtime(t *testing.T) {
 	if _, ok := s.Get(keys[0]); !ok {
 		t.Fatal("a missing before eviction")
 	}
-	if err := s.Put(keys[3], sampleRecord(64, 3)); err != nil {
+	if err := s.Put(keys[3], one); err != nil {
 		t.Fatal(err)
 	}
 	if s.SizeBytes() > 3*oneSize {
@@ -236,7 +243,7 @@ func TestStrayFilesIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	one := sampleRecord(16, 1)
-	s, err := Open(dir, int64(len(encode(one)))+8)
+	s, err := Open(dir, int64(len(Encode(one)))+8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,15 +265,15 @@ func TestStrayFilesIgnored(t *testing.T) {
 // resident makes it evict younger records to cover phantom bytes.
 func TestEvictTolerantOfConcurrentUnlink(t *testing.T) {
 	dir := t.TempDir()
-	one := sampleRecord(64, 1)
-	oneSize := int64(len(encode(one)))
+	one := sampleRecord(64, 1) // same record per key: exact budget math
+	oneSize := int64(len(Encode(one)))
 	s, err := Open(dir, 3*oneSize) // room for three records
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
 	for i, k := range keys[:3] {
-		if err := s.Put(k, sampleRecord(64, uint64(i))); err != nil {
+		if err := s.Put(k, one); err != nil {
 			t.Fatal(err)
 		}
 		mt := time.Now().Add(time.Duration(i-10) * time.Second)
@@ -282,7 +289,7 @@ func TestEvictTolerantOfConcurrentUnlink(t *testing.T) {
 	}
 
 	// The overflowing Put needs exactly one eviction ("a", oldest).
-	if err := s.Put(keys[3], sampleRecord(64, 3)); err != nil {
+	if err := s.Put(keys[3], one); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(keys[0]); ok {
@@ -299,12 +306,14 @@ func TestEvictTolerantOfConcurrentUnlink(t *testing.T) {
 // TestTwoStoresRacingOnOneDir is the cross-process regression test for
 // ENOENT tolerance: two byte-starved stores on one directory, both
 // evicting under each other's feet while Gets race the unlinks. Every
-// failure mode must surface as a miss, never an error or a panic. Run
-// under -race.
+// failure mode must surface as a miss, never an error or a panic. The
+// directory starts mixed-version — half the keys pre-seeded as legacy
+// v1 files — so eviction, budget accounting and the spare-file skip are
+// proven version-blind. Run under -race.
 func TestTwoStoresRacingOnOneDir(t *testing.T) {
 	dir := t.TempDir()
 	one := sampleRecord(64, 1)
-	budget := 3 * int64(len(encode(one))) // both stores always over budget
+	budget := 3 * int64(len(Encode(one))) // both stores always over budget
 	s1, err := Open(dir, budget)
 	if err != nil {
 		t.Fatal(err)
@@ -315,6 +324,13 @@ func TestTwoStoresRacingOnOneDir(t *testing.T) {
 	}
 	stores := []*Store{s1, s2}
 	const keys = 12
+	for n := 0; n < keys; n += 2 {
+		k := []byte(fmt.Sprintf("key-%d", n))
+		blob := EncodeV1(sampleRecord(64, uint64(n)))
+		if err := os.WriteFile(s1.path(k), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
 		wg.Add(1)

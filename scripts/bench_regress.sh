@@ -5,8 +5,10 @@
 #   scripts/bench_regress.sh --capture  rewrite BENCH_eval.json from this machine
 #
 # Env knobs: BENCHTIME (default 2s), MAX_REGRESS (fractional ns/op slack,
-# default 0.25). allocs/op gets only benchdiff's tight default slack —
-# per-eval allocation counts are deterministic.
+# default 0.25), MAX_ALLOCS_REGRESS (fractional allocs/op slack, default
+# benchdiff's tight 0.02). Per-eval allocation counts are deterministic;
+# the whole-run and trace-tier benchmarks jitter by a few allocations
+# from goroutine and HTTP scheduling, which the default still absorbs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,7 +34,9 @@ gated=(
   BenchmarkStepTrace
   BenchmarkStepTraceBatch
   BenchmarkStepTraceBatchROM
+  BenchmarkTraceEncodeV2
   BenchmarkTraceStoreWarmVsCold
+  BenchmarkTraceTierWarmVsCold
 )
 pattern="$(IFS='|'; echo "${gated[*]}")"
 
@@ -41,7 +45,8 @@ trap 'rm -f "$out"' EXIT
 
 go test -run '^$' -bench "$pattern" \
   -benchmem -benchtime "${BENCHTIME:-2s}" -count=1 \
-  ./internal/cpu/ ./internal/testbed/ ./internal/core/ ./internal/pdn/ ./internal/circuit/ | tee "$out"
+  ./internal/cpu/ ./internal/testbed/ ./internal/core/ ./internal/pdn/ ./internal/circuit/ \
+  ./internal/tracestore/ ./internal/dist/ | tee "$out"
 
 missing=0
 for b in "${gated[@]}"; do
@@ -59,5 +64,6 @@ if [ "${1:-}" = "--capture" ]; then
   go run ./cmd/benchdiff -capture BENCH_eval.json \
     -note "captured by scripts/bench_regress.sh --capture; ns/op is machine-relative, allocs/op is not" <"$out"
 else
-  go run ./cmd/benchdiff -baseline BENCH_eval.json -max-regress "${MAX_REGRESS:-0.25}" <"$out"
+  go run ./cmd/benchdiff -baseline BENCH_eval.json -max-regress "${MAX_REGRESS:-0.25}" \
+    -max-allocs-regress "${MAX_ALLOCS_REGRESS:-0.02}" <"$out"
 fi

@@ -62,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -133,6 +134,15 @@ func main() {
 	flag.StringVar(&c.workerID, "worker-id", "", "stable worker name for -worker (default host.pid)")
 	flag.IntVar(&c.workerPar, "worker-par", 1, "capture parallelism per leased unit in -worker mode")
 	flag.Parse()
+
+	// A negative (or NaN) tolerance would otherwise be folded into the
+	// platform digest as a meaningless "rom:-…" identity; reject it
+	// before anything is compiled or registered. Checked here so both
+	// the search path and -worker mode are covered.
+	if c.romTol < 0 || math.IsNaN(c.romTol) {
+		fmt.Fprintf(os.Stderr, "audit: -rom-tol must be a non-negative voltage, got %v\n", c.romTol)
+		os.Exit(2)
+	}
 
 	if c.pprofAddr != "" {
 		go func() {
@@ -623,6 +633,10 @@ func printThroughput(evals int, elapsed time.Duration, hits, misses int, ts audi
 				time.Duration(ts.ReplayNS/tot).Round(time.Microsecond))
 		}
 		fmt.Fprintf(os.Stderr, ", kernels %d rom / %d exact", ts.ROMReplays, ts.ExactReplays)
+	}
+	if ts.PeriodicReplays > 0 {
+		fmt.Fprintf(os.Stderr, ", periodic %d (%d modal, %d probe lanes)",
+			ts.PeriodicReplays, ts.ModalPeriodic, ts.AffineProbeLanes)
 	}
 	fmt.Fprintln(os.Stderr)
 }

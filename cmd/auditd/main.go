@@ -53,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -111,6 +112,13 @@ func main() {
 	flag.StringVar(&c.batchLanes, "batch-lanes", "auto", "replay lanes per batched generation: auto, a fixed width, or negative to disable batching")
 	flag.BoolVar(&c.verbose, "v", false, "log lease traffic to stderr")
 	flag.Parse()
+
+	// A negative (or NaN) tolerance would otherwise be folded into the
+	// platform digest workers must match; reject it up front.
+	if c.romTol < 0 || math.IsNaN(c.romTol) {
+		fmt.Fprintf(os.Stderr, "auditd: -rom-tol must be a non-negative voltage, got %v\n", c.romTol)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

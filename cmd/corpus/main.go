@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/core"
@@ -189,6 +190,11 @@ func cmdRun(args []string) error {
 	romTol := fs.Float64("rom-tol", 0, "replay with the reduced-order PDN kernel at this tolerance (volts); entries baselined on the exact platform then report platform-skew")
 	verbose := fs.Bool("v", false, "print per-entry results even when all pass")
 	fs.Parse(args)
+	// A negative (or NaN) tolerance would otherwise mint a meaningless
+	// "rom:-…" platform digest and misclassify every entry.
+	if *romTol < 0 || math.IsNaN(*romTol) {
+		return fmt.Errorf("-rom-tol must be a non-negative voltage, got %v", *romTol)
+	}
 	db, err := openDB(*dir)
 	if err != nil {
 		return err

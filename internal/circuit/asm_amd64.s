@@ -1,0 +1,346 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 kernels for the batch replay hot paths. Bit-identity contract:
+// every SIMD slot executes the pure-Go kernel's floating-point
+// operations in the same order — VMULPD/VMULSD followed by
+// VSUBPD/VSUBSD or VADDPD/VADDSD, never VFMADD — so each lane's
+// result is identical to the scalar kernel's at the bit level.
+// R14/R15 are deliberately unused (g register / dynlink scratch).
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func fwdRowAVX2(row []float64, x []float64, i, L int)
+//
+// Forward-substitution row i over all L lanes of the lane-minor
+// solution array x: for each lane l,
+//
+//	x[i*L+l] -= Σ_j row[j] * x[j*L+l]   (j ascending)
+//
+// 8-lane blocks (two ymm accumulators), then a 4-lane block, then VEX
+// scalar remainder — the same tiling solveBatchGo uses.
+TEXT ·fwdRowAVX2(SB), NOSPLIT, $0-64
+	MOVQ  row_base+0(FP), SI
+	MOVQ  row_len+8(FP), R8
+	MOVQ  x_base+24(FP), DI
+	MOVQ  i+48(FP), R9
+	MOVQ  L+56(FP), R10
+
+	IMULQ R10, R9
+	LEAQ  (DI)(R9*8), DX  // DX = &x[i*L]
+	MOVQ  R10, R11
+	SHLQ  $3, R11         // R11 = L*8: SoA row stride in bytes
+
+	XORQ  R12, R12        // l = 0
+fwd8:
+	MOVQ  R10, AX
+	SUBQ  R12, AX
+	CMPQ  AX, $8
+	JLT   fwd4
+	LEAQ  (DX)(R12*8), R13
+	VMOVUPD (R13), Y0
+	VMOVUPD 32(R13), Y1
+	LEAQ  (DI)(R12*8), AX // column pointer: &x[0*L+l]
+	MOVQ  SI, BX
+	MOVQ  R8, CX
+	TESTQ CX, CX
+	JE    fwd8store
+fwd8j:
+	VBROADCASTSD (BX), Y2
+	VMULPD (AX), Y2, Y3
+	VMULPD 32(AX), Y2, Y4
+	VSUBPD Y3, Y0, Y0
+	VSUBPD Y4, Y1, Y1
+	ADDQ  $8, BX
+	ADDQ  R11, AX
+	DECQ  CX
+	JNE   fwd8j
+fwd8store:
+	VMOVUPD Y0, (R13)
+	VMOVUPD Y1, 32(R13)
+	ADDQ  $8, R12
+	JMP   fwd8
+fwd4:
+	MOVQ  R10, AX
+	SUBQ  R12, AX
+	CMPQ  AX, $4
+	JLT   fwd1
+	LEAQ  (DX)(R12*8), R13
+	VMOVUPD (R13), Y0
+	LEAQ  (DI)(R12*8), AX
+	MOVQ  SI, BX
+	MOVQ  R8, CX
+	TESTQ CX, CX
+	JE    fwd4store
+fwd4j:
+	VBROADCASTSD (BX), Y2
+	VMULPD (AX), Y2, Y3
+	VSUBPD Y3, Y0, Y0
+	ADDQ  $8, BX
+	ADDQ  R11, AX
+	DECQ  CX
+	JNE   fwd4j
+fwd4store:
+	VMOVUPD Y0, (R13)
+	ADDQ  $4, R12
+	JMP   fwd4
+fwd1:
+	CMPQ  R12, R10
+	JGE   fwddone
+	LEAQ  (DX)(R12*8), R13
+	VMOVSD (R13), X0
+	LEAQ  (DI)(R12*8), AX
+	MOVQ  SI, BX
+	MOVQ  R8, CX
+	TESTQ CX, CX
+	JE    fwd1store
+fwd1j:
+	VMOVSD (BX), X2
+	VMULSD (AX), X2, X3
+	VSUBSD X3, X0, X0
+	ADDQ  $8, BX
+	ADDQ  R11, AX
+	DECQ  CX
+	JNE   fwd1j
+fwd1store:
+	VMOVSD X0, (R13)
+	INCQ  R12
+	JMP   fwd1
+fwddone:
+	VZEROUPPER
+	RET
+
+// func backRowAVX2(row []float64, d float64, x []float64, i, base, L int)
+//
+// Back-substitution row i over all L lanes: for each lane l,
+//
+//	s = x[i*L+l] − Σ_j row[j] * x[base + j*L + l]   (j ascending)
+//	x[i*L+l] = s / d
+//
+// The division is per-slot VDIVPD/VDIVSD, matching the scalar
+// kernel's one final divide.
+TEXT ·backRowAVX2(SB), NOSPLIT, $0-80
+	MOVQ  row_base+0(FP), SI
+	MOVQ  row_len+8(FP), R8
+	VBROADCASTSD d+24(FP), Y5
+	MOVQ  x_base+32(FP), DI
+	MOVQ  i+56(FP), R9
+	MOVQ  base+64(FP), BX
+	MOVQ  L+72(FP), R10
+
+	IMULQ R10, R9
+	LEAQ  (DI)(R9*8), DX  // DX = &x[i*L]
+	LEAQ  (DI)(BX*8), R9  // R9 = &x[base]
+	MOVQ  R10, R11
+	SHLQ  $3, R11
+
+	XORQ  R12, R12
+back8:
+	MOVQ  R10, AX
+	SUBQ  R12, AX
+	CMPQ  AX, $8
+	JLT   back4
+	LEAQ  (DX)(R12*8), R13
+	VMOVUPD (R13), Y0
+	VMOVUPD 32(R13), Y1
+	LEAQ  (R9)(R12*8), AX
+	MOVQ  SI, BX
+	MOVQ  R8, CX
+	TESTQ CX, CX
+	JE    back8div
+back8j:
+	VBROADCASTSD (BX), Y2
+	VMULPD (AX), Y2, Y3
+	VMULPD 32(AX), Y2, Y4
+	VSUBPD Y3, Y0, Y0
+	VSUBPD Y4, Y1, Y1
+	ADDQ  $8, BX
+	ADDQ  R11, AX
+	DECQ  CX
+	JNE   back8j
+back8div:
+	VDIVPD Y5, Y0, Y0
+	VDIVPD Y5, Y1, Y1
+	VMOVUPD Y0, (R13)
+	VMOVUPD Y1, 32(R13)
+	ADDQ  $8, R12
+	JMP   back8
+back4:
+	MOVQ  R10, AX
+	SUBQ  R12, AX
+	CMPQ  AX, $4
+	JLT   back1
+	LEAQ  (DX)(R12*8), R13
+	VMOVUPD (R13), Y0
+	LEAQ  (R9)(R12*8), AX
+	MOVQ  SI, BX
+	MOVQ  R8, CX
+	TESTQ CX, CX
+	JE    back4div
+back4j:
+	VBROADCASTSD (BX), Y2
+	VMULPD (AX), Y2, Y3
+	VSUBPD Y3, Y0, Y0
+	ADDQ  $8, BX
+	ADDQ  R11, AX
+	DECQ  CX
+	JNE   back4j
+back4div:
+	VDIVPD Y5, Y0, Y0
+	VMOVUPD Y0, (R13)
+	ADDQ  $4, R12
+	JMP   back4
+back1:
+	CMPQ  R12, R10
+	JGE   backdone
+	LEAQ  (DX)(R12*8), R13
+	VMOVSD (R13), X0
+	LEAQ  (R9)(R12*8), AX
+	MOVQ  SI, BX
+	MOVQ  R8, CX
+	TESTQ CX, CX
+	JE    back1div
+back1j:
+	VMOVSD (BX), X2
+	VMULSD (AX), X2, X3
+	VSUBSD X3, X0, X0
+	ADDQ  $8, BX
+	ADDQ  R11, AX
+	DECQ  CX
+	JNE   back1j
+back1div:
+	VDIVSD X5, X0, X0
+	VMOVSD X0, (R13)
+	INCQ  R12
+	JMP   back1
+backdone:
+	VZEROUPPER
+	RET
+
+// func romStep4AVX2(a *romStep4Args)
+//
+// Four ROM lanes per step: SIMD slot k holds lane l+k, whose modal
+// coordinates sit at consecutive addresses in the lane-minor SoA
+// store, so modal rows load and store as whole ymm vectors. Per slot
+// the recurrence is romStepKernel's verbatim:
+//
+//	ut  = src[s] * rmul
+//	acc = vstar + du*ut
+//	pairs:   acc += c0*m0 + c1*m1
+//	         mu0' = al*m0 + be*m1 + h0*ut
+//	         mu1' = al*m1 − be*m0 + h1*ut
+//	singles: acc += c*m0
+//	         mu'  = al*m0 + h*ut
+//	dst[s] = acc
+TEXT ·romStep4AVX2(SB), NOSPLIT, $0-8
+	MOVQ  a+0(FP), DI
+	MOVQ  56(DI), R10       // muStride (bytes)
+	VBROADCASTSD 32(DI), Y9 // du
+	MOVQ  40(DI), AX
+	VMOVUPD (AX), Y10       // vstar, 4 lanes
+	VMOVUPD 128(DI), Y8     // rmul, 4 lanes
+	MOVQ  160(DI), R13
+	SHLQ  $3, R13           // n*8
+	XORQ  R11, R11          // s*8
+romstep:
+	CMPQ  R11, R13
+	JGE   romdone
+	MOVQ  96(DI), AX        // src0
+	VMOVSD (AX)(R11*1), X0
+	MOVQ  104(DI), AX       // src1
+	VMOVHPD (AX)(R11*1), X0, X0
+	MOVQ  112(DI), AX       // src2
+	VMOVSD (AX)(R11*1), X1
+	MOVQ  120(DI), AX       // src3
+	VMOVHPD (AX)(R11*1), X1, X1
+	VINSERTF128 $1, X1, Y0, Y0
+	VMULPD Y8, Y0, Y0       // ut = src * rmul
+	VMULPD Y9, Y0, Y1
+	VADDPD Y10, Y1, Y1      // acc = vstar + du*ut
+	MOVQ  48(DI), BX        // mu column base (section offset 0)
+	MOVQ  0(DI), SI         // pairs
+	MOVQ  8(DI), CX
+	TESTQ CX, CX
+	JE    romsingles
+rompair:
+	VMOVUPD (BX), Y2        // m0
+	VMOVUPD (BX)(R10*1), Y3 // m1
+	VBROADCASTSD 32(SI), Y4 // c0
+	VBROADCASTSD 40(SI), Y5 // c1
+	VMULPD Y2, Y4, Y4
+	VMULPD Y3, Y5, Y5
+	VADDPD Y5, Y4, Y4       // c0*m0 + c1*m1
+	VADDPD Y4, Y1, Y1       // acc +=
+	VBROADCASTSD 0(SI), Y4  // al
+	VBROADCASTSD 8(SI), Y5  // be
+	VBROADCASTSD 16(SI), Y6 // h0
+	VBROADCASTSD 24(SI), Y7 // h1
+	VMULPD Y2, Y4, Y11      // al*m0
+	VMULPD Y3, Y5, Y12      // be*m1
+	VADDPD Y12, Y11, Y11
+	VMULPD Y0, Y6, Y12      // h0*ut
+	VADDPD Y12, Y11, Y11
+	VMOVUPD Y11, (BX)       // mu0'
+	VMULPD Y3, Y4, Y11      // al*m1
+	VMULPD Y2, Y5, Y12      // be*m0
+	VSUBPD Y12, Y11, Y11
+	VMULPD Y0, Y7, Y12      // h1*ut
+	VADDPD Y12, Y11, Y11
+	VMOVUPD Y11, (BX)(R10*1) // mu1'
+	LEAQ  (BX)(R10*2), BX
+	ADDQ  $48, SI
+	DECQ  CX
+	JNE   rompair
+romsingles:
+	MOVQ  16(DI), SI        // singles
+	MOVQ  24(DI), CX
+	TESTQ CX, CX
+	JE    romout
+romsingle:
+	VMOVUPD (BX), Y2        // m0
+	VBROADCASTSD 16(SI), Y4 // c
+	VMULPD Y2, Y4, Y4
+	VADDPD Y4, Y1, Y1       // acc += c*m0
+	VBROADCASTSD 0(SI), Y4  // al
+	VBROADCASTSD 8(SI), Y5  // h
+	VMULPD Y2, Y4, Y11
+	VMULPD Y0, Y5, Y12
+	VADDPD Y12, Y11, Y11
+	VMOVUPD Y11, (BX)       // mu'
+	ADDQ  R10, BX
+	ADDQ  $24, SI
+	DECQ  CX
+	JNE   romsingle
+romout:
+	VEXTRACTF128 $1, Y1, X2
+	MOVQ  64(DI), AX        // dst0
+	VMOVSD X1, (AX)(R11*1)
+	MOVQ  72(DI), AX        // dst1
+	VMOVHPD X1, (AX)(R11*1)
+	MOVQ  80(DI), AX        // dst2
+	VMOVSD X2, (AX)(R11*1)
+	MOVQ  88(DI), AX        // dst3
+	VMOVHPD X2, (AX)(R11*1)
+	ADDQ  $8, R11
+	JMP   romstep
+romdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,196 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// These suites pin the asm/Go kernel equivalence contract: whatever
+// kernel solveBatch and ROMBatch.StepTraceBatch dispatch to on this
+// build (AVX2 assembly on amd64, pure Go under `noasm` or elsewhere)
+// must be bit-identical to the pure-Go reference at every batch
+// width. CI runs them both with and without the noasm tag.
+
+// testLU factors a random diagonally dominant n×n system.
+func testLU(t testing.TB, n int, seed int64) *luReal {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = rng.NormFloat64()
+		}
+		a[i*n+i] += float64(n) + 1
+	}
+	lu, err := factorReal(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lu
+}
+
+// romStepBatchGo is the pure-Go lane-major batch loop — the reference
+// StepTraceBatch's dispatch is checked against.
+func romStepBatchGo(rb *ROMBatch, dst, src [][]float64, mul, div []float64, n int) {
+	L := rb.lanes
+	muLane := rb.muLane
+	for l := 0; l < L; l++ {
+		gather(muLane, rb.mu, L, l)
+		romStepKernel(rb.rom, muLane, rb.vstar[l], dst[l][:n], src[l], mul[l], div[l], n)
+		scatter(rb.mu, muLane, L, l)
+	}
+}
+
+func TestSolveBatchDispatchBitIdentical(t *testing.T) {
+	t.Logf("haveAVX2 = %v", haveAVX2)
+	for _, n := range []int{1, 3, 15, 24} {
+		lu := testLU(t, n, int64(100+n))
+		rng := rand.New(rand.NewSource(int64(n)))
+		for _, L := range []int{1, 2, 4, 8, 16, 32, 7, 13} {
+			b := make([]float64, n*L)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			got := make([]float64, n*L)
+			want := make([]float64, n*L)
+			lu.solveBatch(b, got, L)
+			lu.solveBatchGo(b, want, L)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d L=%d: dispatch[%d] = %v, pure Go %v", n, L, i, got[i], want[i])
+				}
+			}
+			// And per lane against the serial solver — the original
+			// bit-identity oracle.
+			bl := make([]float64, n)
+			xl := make([]float64, n)
+			for l := 0; l < L; l++ {
+				gather(bl, b, L, l)
+				lu.solve(bl, xl)
+				for i := 0; i < n; i++ {
+					if got[i*L+l] != xl[i] {
+						t.Fatalf("n=%d L=%d lane %d row %d: batch %v != serial %v", n, L, l, i, got[i*L+l], xl[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestROMStepBatchDispatchBitIdentical(t *testing.T) {
+	cp, rom, _, _ := romFixture(t, pdnLadder3)
+	const steps = 500
+	for _, lanes := range []int{1, 2, 4, 8, 16, 32, 6, 11} {
+		src := batchDrive(lanes, steps)
+		mul := make([]float64, lanes)
+		div := make([]float64, lanes)
+		got := make([][]float64, lanes)
+		want := make([][]float64, lanes)
+		rb := rom.NewBatch(lanes)
+		ref := rom.NewBatch(lanes)
+		for l := 0; l < lanes; l++ {
+			mul[l] = 1e-12
+			div[l] = 1e-10 * (1.2 + 0.02*float64(l))
+			got[l] = make([]float64, steps)
+			want[l] = make([]float64, steps)
+			add := 0.1 + 0.05*float64(l)
+			rb.LoadLane(l, cp.NewState(), add)
+			ref.LoadLane(l, cp.NewState(), add)
+		}
+		rb.StepTraceBatch(got, src, mul, div, steps)
+		romStepBatchGo(ref, want, src, mul, div, steps)
+		for l := 0; l < lanes; l++ {
+			for i := 0; i < steps; i++ {
+				if got[l][i] != want[l][i] {
+					t.Fatalf("lanes=%d lane %d step %d: dispatch %v != pure Go %v", lanes, l, i, got[l][i], want[l][i])
+				}
+			}
+		}
+		// End states must match too — the next chunk continues from mu.
+		gm := make([]float64, rom.Order())
+		wm := make([]float64, rom.Order())
+		for l := 0; l < lanes; l++ {
+			gv := rb.LaneModal(l, gm)
+			wv := ref.LaneModal(l, wm)
+			if gv != wv {
+				t.Fatalf("lanes=%d lane %d: vstar %v != %v", lanes, l, gv, wv)
+			}
+			for i := range gm {
+				if gm[i] != wm[i] {
+					t.Fatalf("lanes=%d lane %d coord %d: mu %v != %v", lanes, l, i, gm[i], wm[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSolveBatchKernel compares the pure-Go register-blocked
+// substitution against the AVX2 row kernels at replay-realistic sizes
+// (n=15 is the shipped PDN's MNA dimension).
+func BenchmarkSolveBatchKernel(b *testing.B) {
+	const n = 15
+	lu := testLU(b, n, 42)
+	for _, L := range []int{8, 32} {
+		rhs := make([]float64, n*L)
+		x := make([]float64, n*L)
+		rng := rand.New(rand.NewSource(9))
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		b.Run(fmt.Sprintf("go/Lanes%d", L), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lu.solveBatchGo(rhs, x, L)
+			}
+		})
+		b.Run(fmt.Sprintf("asm/Lanes%d", L), func(b *testing.B) {
+			if !haveAVX2 {
+				b.Skip("AVX2 kernels unavailable in this build")
+			}
+			for i := 0; i < b.N; i++ {
+				lu.solveBatchAVX2(rhs, x, L)
+			}
+		})
+	}
+}
+
+// BenchmarkROMStepBatchKernel compares the lane-major pure-Go modal
+// kernel against the 4-lane AVX2 groups.
+func BenchmarkROMStepBatchKernel(b *testing.B) {
+	cp, rom, _, _ := romFixture(b, pdnLadder3)
+	const steps = 65536
+	for _, lanes := range []int{8, 32} {
+		src := batchDrive(lanes, steps)
+		dst := make([][]float64, lanes)
+		mul := make([]float64, lanes)
+		div := make([]float64, lanes)
+		for l := 0; l < lanes; l++ {
+			dst[l] = make([]float64, steps)
+			mul[l], div[l] = 1, 1
+		}
+		mk := func() *ROMBatch {
+			rb := rom.NewBatch(lanes)
+			for l := 0; l < lanes; l++ {
+				rb.LoadLane(l, cp.NewState(), 0.2)
+			}
+			return rb
+		}
+		b.Run(fmt.Sprintf("go/Lanes%d", lanes), func(b *testing.B) {
+			rb := mk()
+			b.SetBytes(int64(steps * 8 * lanes))
+			for i := 0; i < b.N; i++ {
+				romStepBatchGo(rb, dst, src, mul, div, steps)
+			}
+		})
+		b.Run(fmt.Sprintf("asm/Lanes%d", lanes), func(b *testing.B) {
+			if !haveAVX2 {
+				b.Skip("AVX2 kernels unavailable in this build")
+			}
+			rb := mk()
+			b.SetBytes(int64(steps * 8 * lanes))
+			for i := 0; i < b.N; i++ {
+				rb.StepTraceBatch(dst, src, mul, div, steps)
+			}
+		})
+	}
+}

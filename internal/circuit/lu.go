@@ -98,7 +98,25 @@ func (f *luReal) solve(b, x []float64) {
 // multiply-subtract chains keep the FP units busy where the serial
 // solve's single chain stalls on latency. That blocking — not thread
 // parallelism — is the multi-lane replay kernel's speedup.
+//
+// On amd64 with AVX2 (and without the `noasm` tag), the substitution
+// sweeps run through hand-written vector kernels (asm_amd64.s) that
+// keep this exact per-lane operation order — multiply then subtract as
+// two rounded ops, no FMA contraction — so the dispatch below never
+// changes a single output bit, only how many lanes each instruction
+// carries.
 func (f *luReal) solveBatch(b, x []float64, L int) {
+	if haveAVX2 && L >= 4 {
+		f.solveBatchAVX2(b, x, L)
+		return
+	}
+	f.solveBatchGo(b, x, L)
+}
+
+// solveBatchGo is the pure-Go register-blocked kernel — the reference
+// the assembly path is verified bit-identical against, and the path
+// taken on non-amd64, noasm, pre-AVX2 hardware, and narrow batches.
+func (f *luReal) solveBatchGo(b, x []float64, L int) {
 	n := f.n
 	lu := f.lu
 	for i := 0; i < n; i++ {

@@ -1,0 +1,116 @@
+package circuit
+
+// Modal period-map helpers for the periodic replay fast path
+// (internal/testbed/replay.go). A periodic drive makes one period an
+// affine map of the boundary state; in the ROM's modal coordinates
+// that map is exactly block-diagonal over the eigendecomposition's
+// 1×1/2×2 sections, because romStepKernel never couples sections — a
+// probe that perturbs only section i's coordinates leaves every other
+// section's trajectory bit-identical to the reference lane. The fixed
+// point and per-section contraction factors therefore have closed
+// forms, which the replay uses for a sound analytic convergence bound
+// instead of the empirical geometric projection the exact path needs.
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrModalSingular is returned by PeriodicSteadyState when a section's
+// I − A block is numerically singular: the period map has a mode with
+// no decay toward a fixed point, so no steady-state boundary exists.
+var ErrModalSingular = errors.New("circuit: modal period map has no steady state")
+
+// sectionOrder sums the section sizes and validates them against the
+// matrix slice.
+func sectionOrder(sections []int, a []float64) int {
+	m := 0
+	for _, sz := range sections {
+		if sz != 1 && sz != 2 {
+			panic("circuit: modal section size must be 1 or 2")
+		}
+		m += sz
+	}
+	if len(a) < m*m {
+		panic("circuit: modal period map shorter than order²")
+	}
+	return m
+}
+
+// PeriodicSteadyState solves (I − A)·x = b in closed form per section,
+// for a block-diagonal modal period map A with column k stored at
+// a[k*m:] (the layout the probe pass produces) and sections laid out
+// per ROM.Sections. Entries of A outside the diagonal blocks are
+// ignored — the probe construction makes them exactly zero. It fails
+// with ErrModalSingular when any block's determinant is negligible
+// against its entries, in which case the caller must fall back to
+// scanning periods without an analytic exit.
+func PeriodicSteadyState(sections []int, a, b, x []float64) error {
+	m := sectionOrder(sections, a)
+	if len(b) < m || len(x) < m {
+		panic("circuit: modal steady-state vector shorter than order")
+	}
+	o := 0
+	for _, sz := range sections {
+		if sz == 1 {
+			d := 1 - a[o*m+o]
+			if !(math.Abs(d) > 1e-12*(1+math.Abs(a[o*m+o]))) {
+				return ErrModalSingular
+			}
+			x[o] = b[o] / d
+			o++
+			continue
+		}
+		// 2×2 block, column-major within the full map.
+		m00 := 1 - a[o*m+o]
+		m10 := -a[o*m+o+1]
+		m01 := -a[(o+1)*m+o]
+		m11 := 1 - a[(o+1)*m+o+1]
+		det := m00*m11 - m01*m10
+		nrm := math.Max(math.Max(math.Abs(m00), math.Abs(m01)),
+			math.Max(math.Abs(m10), math.Abs(m11)))
+		if !(math.Abs(det) > 1e-12*(1+nrm*nrm)) {
+			return ErrModalSingular
+		}
+		b0, b1 := b[o], b[o+1]
+		x[o] = (m11*b0 - m01*b1) / det
+		x[o+1] = (m00*b1 - m10*b0) / det
+		o += 2
+	}
+	return nil
+}
+
+// SectionContractions returns each modal section's spectral norm
+// (largest singular value) of the block-diagonal period map A, laid
+// out as in PeriodicSteadyState. The value is the per-period decay
+// factor of that section's boundary deviation in the Euclidean norm:
+// ‖A_i·δ‖ ≤ σ_i·‖δ‖ exactly, so σ_i < 1 proves the section contracts
+// monotonically toward the steady state — the soundness anchor of the
+// replay's analytic convergence bound.
+func SectionContractions(sections []int, a []float64) []float64 {
+	m := sectionOrder(sections, a)
+	out := make([]float64, len(sections))
+	o := 0
+	for si, sz := range sections {
+		if sz == 1 {
+			out[si] = math.Abs(a[o*m+o])
+			o++
+			continue
+		}
+		b00 := a[o*m+o]
+		b10 := a[o*m+o+1]
+		b01 := a[(o+1)*m+o]
+		b11 := a[(o+1)*m+o+1]
+		// σ_max² of a 2×2 block from its Frobenius norm q and
+		// determinant d: (q + √(q² − 4d²))/2.
+		q := b00*b00 + b01*b01 + b10*b10 + b11*b11
+		d := b00*b11 - b01*b10
+		disc := q*q - 4*d*d
+		if disc < 0 {
+			disc = 0
+		}
+		out[si] = math.Sqrt((q + math.Sqrt(disc)) / 2)
+		o += 2
+	}
+	return out
+}

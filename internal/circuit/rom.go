@@ -436,6 +436,22 @@ func (r *ROM) ErrPerAmpV() float64 { return r.errPerAmp }
 // Order returns the reduced state dimension.
 func (r *ROM) Order() int { return r.m }
 
+// Sections returns the modal section sizes in state order: one 2 per
+// complex eigenvalue pair, then one 1 per real mode. The kernel never
+// couples sections, so any map probed out of one-period ROM runs is
+// exactly block-diagonal over this partition. The slice is freshly
+// allocated.
+func (r *ROM) Sections() []int {
+	secs := make([]int, 0, len(r.pairs)+len(r.singles))
+	for range r.pairs {
+		secs = append(secs, 2)
+	}
+	for range r.singles {
+		secs = append(secs, 1)
+	}
+	return secs
+}
+
 // calibrate measures the ROM against the exact kernel on a suite of
 // unit-amplitude drives — impulse, step, a square wave at each modal
 // resonance, and broadband noise — over romCalibrateSteps cycles, and
@@ -556,6 +572,32 @@ func (r *ROM) NewState(t *Transient, add float64) *ROMState {
 	return st
 }
 
+// Order returns the reduced state dimension m.
+func (st *ROMState) Order() int { return st.rom.m }
+
+// Sections returns the modal section sizes (see ROM.Sections).
+func (st *ROMState) Sections() []int { return st.rom.Sections() }
+
+// Modal copies the modal deviation state μ into dst (length ≥ m) and
+// returns the folded constant output term vstar. Together they are the
+// replay's complete dynamic state, so a Modal/SetModal round trip
+// resumes a replay bit-identically.
+func (st *ROMState) Modal(dst []float64) float64 {
+	copy(dst[:st.rom.m], st.mu)
+	return st.vstar
+}
+
+// SetModal overwrites the modal deviation state and folded constant
+// output term, e.g. to jump a periodic replay to an analytically
+// computed boundary.
+func (st *ROMState) SetModal(src []float64, vstar float64) {
+	if len(src) < st.rom.m {
+		panic("circuit: ROM modal state shorter than order")
+	}
+	copy(st.mu, src[:st.rom.m])
+	st.vstar = vstar
+}
+
 // StepTrace advances the reduced model len(src) steps: step s drives
 // the compiled source with src[s]*(mul/div) above the folded constant
 // level and records the output node's voltage into dst[s]. Unlike the
@@ -664,6 +706,27 @@ func (rb *ROMBatch) LoadLane(l int, t *Transient, add float64) {
 	scatter(rb.mu, muCol, rb.lanes, l)
 }
 
+// SetLaneModal loads lane l directly from a modal deviation state and
+// folded constant term. The periodic probe path shares one fold across
+// all its lanes (reference plus unit modal perturbations), so loading
+// modal coordinates directly avoids re-folding per lane.
+func (rb *ROMBatch) SetLaneModal(l int, mu []float64, vstar float64) {
+	rb.checkLane(l)
+	if len(mu) < rb.rom.m {
+		panic("circuit: ROM modal state shorter than order")
+	}
+	scatter(rb.mu, mu[:rb.rom.m], rb.lanes, l)
+	rb.vstar[l] = vstar
+}
+
+// LaneModal copies lane l's modal deviation state into dst (length ≥
+// m) and returns the lane's folded constant term.
+func (rb *ROMBatch) LaneModal(l int, dst []float64) float64 {
+	rb.checkLane(l)
+	gather(dst[:rb.rom.m], rb.mu, rb.lanes, l)
+	return rb.vstar[l]
+}
+
 // DropLane retires lane l by swap-remove (the last lane moves into
 // slot l) and shrinks the batch, mirroring TransientBatch.DropLane.
 func (rb *ROMBatch) DropLane(l int) {
@@ -697,8 +760,18 @@ func (rb *ROMBatch) StepTraceBatch(dst, src [][]float64, mul, div []float64, n i
 			panic("circuit: ROM StepTraceBatch lane buffer shorter than n")
 		}
 	}
+	// AVX2 builds step 4 adjacent lanes per kernel pass: the lane-minor
+	// SoA already holds them contiguously, and the vector kernel's
+	// per-slot op order is romStepKernel's exactly, so the split is
+	// invisible in the output bits.
+	l := 0
+	if haveAVX2 {
+		for ; l+4 <= L; l += 4 {
+			rb.stepLanes4AVX2(l, dst, src, mul, div, n)
+		}
+	}
 	muLane := rb.muLane
-	for l := 0; l < L; l++ {
+	for ; l < L; l++ {
 		gather(muLane, rb.mu, L, l)
 		romStepKernel(r, muLane, rb.vstar[l], dst[l][:n], src[l], mul[l], div[l], n)
 		scatter(rb.mu, muLane, L, l)

@@ -51,6 +51,25 @@ func (s *ROMState) StepTrace(dst, src []float64, mul, div float64) {
 	s.st.StepTrace(dst, src, mul, div)
 }
 
+// Order returns the reduced state dimension m.
+func (s *ROMState) Order() int { return s.st.Order() }
+
+// Sections returns the modal section sizes in state order (one 2 per
+// complex eigenvalue pair, then one 1 per real mode) — the block
+// partition of any period map probed out of one-period ROM runs. See
+// circuit.ROM.Sections.
+func (s *ROMState) Sections() []int { return s.st.Sections() }
+
+// Modal copies the modal deviation state μ into dst (length ≥ Order)
+// and returns the folded constant output term vstar — together the
+// replay's complete dynamic state.
+func (s *ROMState) Modal(dst []float64) float64 { return s.st.Modal(dst) }
+
+// SetModal overwrites the modal deviation state and folded constant
+// term, e.g. to jump a periodic replay to an analytically computed
+// boundary. A Modal/SetModal round trip resumes bit-identically.
+func (s *ROMState) SetModal(src []float64, vstar float64) { s.st.SetModal(src, vstar) }
+
 // ROMBatch advances several independent reduced-order replays in
 // lockstep over one network, mirroring Batch's lane discipline
 // (LoadLane / swap-remove DropLane) so the testbed's lane scheduler
@@ -82,6 +101,19 @@ func (b *ROMBatch) LoadLane(l int, p *PDN, add float64) {
 	b.rb.LoadLane(l, p.tr, add)
 }
 
+// SetLaneModal loads lane l directly from a modal deviation state and
+// folded constant term — the periodic probe path's lane loader, which
+// shares one fold across its reference + unit-perturbation lanes.
+func (b *ROMBatch) SetLaneModal(l int, mu []float64, vstar float64) {
+	b.rb.SetLaneModal(l, mu, vstar)
+}
+
+// LaneModal copies lane l's modal deviation state into dst (length ≥
+// order) and returns the lane's folded constant term.
+func (b *ROMBatch) LaneModal(l int, dst []float64) float64 {
+	return b.rb.LaneModal(l, dst)
+}
+
 // DropLane retires lane l by swap-remove (the last lane moves into
 // slot l), mirroring Batch.DropLane.
 func (b *ROMBatch) DropLane(l int) { b.rb.DropLane(l) }
@@ -92,4 +124,18 @@ func (b *ROMBatch) DropLane(l int) { b.rb.DropLane(l) }
 // bit-identical to a serial ROMState.StepTrace at any batch width.
 func (b *ROMBatch) StepTraceBatch(dst, src [][]float64, mul, div []float64, n int) {
 	b.rb.StepTraceBatch(dst, src, mul, div, n)
+}
+
+// PeriodicSteadyState solves (I − A)·x = b in closed form per modal
+// section, for a block-diagonal period map with column k at a[k*m:]
+// and sections per ROMState.Sections. See circuit.PeriodicSteadyState.
+func PeriodicSteadyState(sections []int, a, b, x []float64) error {
+	return circuit.PeriodicSteadyState(sections, a, b, x)
+}
+
+// SectionContractions returns each modal section's spectral norm of
+// the block-diagonal period map — its exact per-period Euclidean decay
+// factor. See circuit.SectionContractions.
+func SectionContractions(sections []int, a []float64) []float64 {
+	return circuit.SectionContractions(sections, a)
 }

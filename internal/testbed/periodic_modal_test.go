@@ -1,0 +1,240 @@
+package testbed
+
+import (
+	"testing"
+)
+
+// TestModalPeriodicMatchesExact is the modal fast path's headline
+// equivalence check: a jmp-closed periodic loop on a ROM-enabled
+// platform must replay through the modal-coordinate period map (m+1
+// probe lanes, analytic convergence exit) and agree with the exact
+// cycle loop within the declared ROM tolerance, while the exact
+// platform keeps riding the full-state affine path untouched.
+func TestModalPeriodicMatchesExact(t *testing.T) {
+	prog := jmpLoop("modalperiodic", resonancePeriodCycles(Bulldozer()))
+	threads, err := SpreadPlacement(Bulldozer().Chip, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2M cycles: long enough for the die-voltage response to converge,
+	// so both the affine and the analytic modal early exits fire.
+	rc := RunConfig{
+		Threads:      threads,
+		MaxCycles:    2_000_000,
+		WarmupCycles: 2000,
+		SupplyVolts:  Bulldozer().Nominal() - 0.10,
+	}
+	exactCP, err := Bulldozer().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	romCP, err := romPlatform().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := rc
+	exact.ExactCycleLoop = true
+	want, err := exactCP.Run(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affine, err := exactCP.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplayTolerances(t, affine, want, 1e-9)
+	modal, err := romCP.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplayTolerances(t, modal, want, romTol)
+
+	st := romCP.TraceStats()
+	if st.Periodic != 1 || st.PeriodicReplays != 1 || st.ModalPeriodic != 1 {
+		t.Errorf("ROM platform periodic counters = (periodic %d, replays %d, modal %d), want (1, 1, 1)",
+			st.Periodic, st.PeriodicReplays, st.ModalPeriodic)
+	}
+	if st.ROMReplays != 1 || st.ExactReplays != 0 {
+		t.Errorf("ROM platform replay counters = (rom %d, exact %d), want (1, 0)", st.ROMReplays, st.ExactReplays)
+	}
+	if st.PDNEarlyExits != 1 {
+		t.Errorf("modal analytic early exit did not fire (PDNEarlyExits = %d)", st.PDNEarlyExits)
+	}
+	ste := exactCP.TraceStats()
+	if ste.PeriodicReplays != 1 || ste.ModalPeriodic != 0 {
+		t.Errorf("exact platform periodic counters = (replays %d, modal %d), want (1, 0)",
+			ste.PeriodicReplays, ste.ModalPeriodic)
+	}
+	// The whole point of the modal path: m+1 probe lanes (m = ROM
+	// order) instead of StateDim+1.
+	if st.AffineProbeLanes == 0 || ste.AffineProbeLanes == 0 {
+		t.Fatalf("probe lanes uncounted: modal %d, affine %d", st.AffineProbeLanes, ste.AffineProbeLanes)
+	}
+	if st.AffineProbeLanes >= ste.AffineProbeLanes {
+		t.Errorf("modal probe lanes %d not below full-state probe lanes %d", st.AffineProbeLanes, ste.AffineProbeLanes)
+	}
+}
+
+// periodLenOf digs the single cached trace's periodic decomposition out
+// of the cache (white box; same package).
+func periodLenOf(cp *CompiledPlatform) (pLen int, periodic bool) {
+	cp.traces.mu.Lock()
+	defer cp.traces.mu.Unlock()
+	for _, tr := range cp.traces.m {
+		if tr.periodic {
+			return tr.periodLen, true
+		}
+	}
+	return 0, false
+}
+
+// TestPeriodicLongerThanChunk pins the pLen > replayChunk sizing edge:
+// when the detected period exceeds the streaming chunk, the voltage
+// buffer must grow to hold a full period on both the affine and modal
+// paths, and the replay must still match the exact loop.
+func TestPeriodicLongerThanChunk(t *testing.T) {
+	// A 256-instruction loop's verified period folds in the mulpd data
+	// pattern's cycle and lands at 7616 cycles — past replayChunk.
+	prog := jmpLoop("longperiod", 256)
+	rc := RunConfig{
+		Threads:      []ThreadSpec{{Program: prog, Module: 0, Core: 0}},
+		MaxCycles:    200000,
+		WarmupCycles: 2000,
+		SupplyVolts:  Bulldozer().Nominal() - 0.10,
+	}
+	exactCP, err := Bulldozer().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	romCP, err := romPlatform().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := rc
+	exact.ExactCycleLoop = true
+	want, err := exactCP.Run(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exactCP.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplayTolerances(t, got, want, 1e-9)
+	modal, err := romCP.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplayTolerances(t, modal, want, romTol)
+
+	pLen, periodic := periodLenOf(exactCP)
+	if !periodic {
+		t.Fatal("long-period loop not detected periodic")
+	}
+	if pLen <= replayChunk {
+		t.Fatalf("detected period %d does not exceed replayChunk %d — edge not exercised", pLen, replayChunk)
+	}
+	if st := romCP.TraceStats(); st.ModalPeriodic != 1 {
+		t.Errorf("ROM platform did not take the modal periodic path (ModalPeriodic = %d)", st.ModalPeriodic)
+	}
+}
+
+// TestPeriodicNeverConverges runs a periodic trace whose span ends long
+// before the die-voltage response settles (the board stage rings for
+// ~10^5-cycle e-folding times), so neither path's convergence exit may
+// fire: every boundary is scanned, the non-aligned tail is finished
+// from the period prefix, and the results still match the exact loop.
+func TestPeriodicNeverConverges(t *testing.T) {
+	prog := jmpLoop("noconverge", resonancePeriodCycles(Bulldozer()))
+	rc := RunConfig{
+		Threads:      []ThreadSpec{{Program: prog, Module: 0, Core: 0}},
+		MaxCycles:    6001, // prime-ish: never period-aligned
+		WarmupCycles: 1000,
+		SupplyVolts:  Bulldozer().Nominal() - 0.10,
+	}
+	exactCP, err := Bulldozer().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	romCP, err := romPlatform().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := rc
+	exact.ExactCycleLoop = true
+	want, err := exactCP.Run(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exactCP.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplayTolerances(t, got, want, 1e-9)
+	modal, err := romCP.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplayTolerances(t, modal, want, romTol)
+
+	if _, periodic := periodLenOf(exactCP); !periodic {
+		t.Fatal("loop not detected periodic")
+	}
+	if st := exactCP.TraceStats(); st.PDNEarlyExits != 0 {
+		t.Errorf("affine convergence exit fired on an unconverged span (PDNEarlyExits = %d)", st.PDNEarlyExits)
+	}
+	st := romCP.TraceStats()
+	if st.PDNEarlyExits != 0 {
+		t.Errorf("modal analytic exit fired on an unconverged span (PDNEarlyExits = %d)", st.PDNEarlyExits)
+	}
+	if st.ModalPeriodic != 1 {
+		t.Errorf("ROM platform did not take the modal periodic path (ModalPeriodic = %d)", st.ModalPeriodic)
+	}
+}
+
+// BenchmarkPeriodicReplayModal measures the probe-dominated periodic
+// replay on the full-state affine path versus the modal fast path: a
+// 60k-cycle span over a ~1k-cycle period runs ~53 cheap boundaries, so
+// the dim+1 (respectively m+1) one-period probe lanes are where the
+// time goes — the regime the modal path is built for. The warmup is
+// varied per iteration to defeat the finished-measurement memo, so
+// every iteration rebuilds the period map and walks the recurrence.
+func BenchmarkPeriodicReplayModal(b *testing.B) {
+	prog := jmpLoop("benchmodal", resonancePeriodCycles(Bulldozer()))
+	threads, err := SpreadPlacement(Bulldozer().Chip, prog, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkRC := func(i int) RunConfig {
+		return RunConfig{
+			Threads:      threads,
+			MaxCycles:    60_000,
+			WarmupCycles: 2000 + uint64(i),
+			SupplyVolts:  Bulldozer().Nominal() - 0.10,
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		p    Platform
+	}{
+		{"affine", Bulldozer()},
+		{"modal", romPlatform()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cp, err := tc.p.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Phase-1 capture outside the timer; iterations replay.
+			if _, err := cp.Run(mkRC(0)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cp.Run(mkRC(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -226,15 +226,23 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 	vbuf := cp.getVBuf(int(bufLen))
 
 	// Full (non-periodic) traces are one straight stream with no state
-	// handoff to the affine-period machinery, so they may ride the
-	// reduced-order kernel when the platform's tolerance admits it.
-	// Periodic replays keep the exact kernel: their affine probes and
-	// boundary extrapolation are built on its state vector.
+	// handoff, so they ride the reduced-order kernel whenever the
+	// platform's tolerance admits the trace. Periodic replays without
+	// sample consumers ride it too: the head streams through the ROM
+	// and the affine period map is then built in the ROM's own modal
+	// coordinates (periodicModal) — m+1 probe lanes instead of
+	// StateDim+1 and O(m²+pLen·m) per boundary. Periodic replays with
+	// consumers keep the exact kernel for every sample, and with
+	// ROMTolV unset (zero) everything below is bit-identical to the
+	// exact loop as before.
 	var rom *pdn.ROMState
-	if !tr.periodic && cp.romOK(tr, div, leakage) {
+	if (!tr.periodic || !consumers) && cp.romOK(tr, div, leakage) {
 		rom, _ = cp.net.NewROMState(net, leakage)
 	}
 	cp.traces.noteReplays(1, rom != nil)
+	if tr.periodic {
+		cp.traces.notePeriodicReplay(rom != nil)
+	}
 
 	// Stored entries, streamed straight through.
 	cyc := uint64(0)
@@ -283,227 +291,15 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 	} else if tr.periodic && cyc < N {
 		period := tr.energy[pStart:head]
 		periodQ := tr.issues[pStart:head]
-
-		// Affine period model. The network is linear and every tile
-		// drives it with the same current sequence, so one period is an
-		// affine map of the boundary state s: the end state is
-		// E(s) = eRef + A·(s−sRef) and the in-period die voltages are
-		// v_c(s) = vRef[c] + W_c·(s−sRef). Sampling the map is exact —
-		// no small-perturbation approximation, linearity makes the
-		// finite difference the true derivative — and costs dim+1
-		// kernel runs of one period each: the reference run plus dim
-		// unit-perturbed probes. The probes all share one drive period,
-		// so they run as lanes of a single multi-lane kernel pass (each
-		// lane bit-identical to the sequential probe it replaces)
-		// instead of dim sequential runs. After that, each boundary
-		// advances with O(dim² + pLen·dim) arithmetic instead of pLen
-		// dense MNA solves, which is where a long periodic replay's
-		// time would otherwise go. The first tile has ds = 0, so its
-		// voltages are the kernel's own output bit for bit; later
-		// tiles pick up ~1e-13 V of float reordering noise, far inside
-		// the convergence tolerances.
-		dim := net.StateDim()
-		sRef := make([]float64, dim)
-		net.StateVec(sRef)
-		vRef := cp.getVBuf(int(pLen))
-		net.StepTrace(vRef[:pLen], period, 1e-12, div, leakage)
-		eRef := make([]float64, dim)
-		net.StateVec(eRef)
-		A := make([]float64, dim*dim)       // column k at A[k*dim:]
-		W := make([]float64, int(pLen)*dim) // row c at W[c*dim:]
-		scratch := make([]float64, dim)
-		{
-			pb := cp.net.NewBatch(dim)
-			probeV := make([]float64, dim*int(pLen))
-			dsts := make([][]float64, dim)
-			srcs := make([][]float64, dim)
-			muls := make([]float64, dim)
-			divs := make([]float64, dim)
-			adds := make([]float64, dim)
-			for k := 0; k < dim; k++ {
-				// Sources (the lane's supply set-point and last sink
-				// value) come from the live state; only the dynamic
-				// state is perturbed.
-				pb.LoadLane(k, net)
-				copy(scratch, sRef)
-				scratch[k]++
-				pb.SetLaneStateVec(k, scratch)
-				dsts[k] = probeV[k*int(pLen) : (k+1)*int(pLen)]
-				srcs[k] = period
-				muls[k], divs[k], adds[k] = 1e-12, div, leakage
-			}
-			pb.StepTraceBatch(dsts, srcs, muls, divs, adds, int(pLen))
-			for k := 0; k < dim; k++ {
-				pb.LaneStateVec(k, scratch)
-				col := A[k*dim : k*dim+dim]
-				for i := range col {
-					col[i] = scratch[i] - eRef[i]
-				}
-				vk := dsts[k]
-				for c := 0; c < int(pLen); c++ {
-					W[c*dim+k] = vk[c] - vRef[c]
-				}
-			}
+		var converged uint64
+		if rom != nil {
+			cyc, converged = cp.periodicModal(rom, fold, vbuf, period, periodQ, cyc, N, pLen, warm, div)
+		} else {
+			cyc, converged = cp.periodicAffine(net, fold, vbuf, period, periodQ, cyc, N, pLen, warm, div, leakage)
 		}
-
-		volts := func(dst []float64, ds []float64) {
-			for c := range dst {
-				v := vRef[c]
-				row := W[c*dim : c*dim+dim]
-				for i, w := range row {
-					v += w * ds[i]
-				}
-				dst[c] = v
-			}
-		}
-
-		sCur := append([]float64(nil), sRef...)
-		sNext := make([]float64, dim)
-		ds := make([]float64, dim)
-		prevV := cp.getVBuf(int(pLen))
-		converged := uint64(0)
-		havePrev := false
-		var dHist [convergeWindow]float64
-		nHist := 0
-		runs := 0
-		for cyc+pLen <= N {
-			for i := range ds {
-				ds[i] = sCur[i] - sRef[i]
-			}
-			volts(vbuf[:pLen], ds)
-			fold.scan(cyc, period, periodQ, vbuf[:pLen])
-			cyc += pLen
-			if cyc < N {
-				if !havePrev {
-					copy(prevV, vbuf[:pLen])
-					havePrev = true
-				} else {
-					var d float64
-					for i := uint64(0); i < pLen; i++ {
-						if dd := math.Abs(vbuf[i] - prevV[i]); dd > d {
-							d = dd
-						}
-					}
-					if nHist < convergeWindow {
-						dHist[nHist] = d
-						nHist++
-					} else {
-						copy(dHist[:], dHist[1:])
-						dHist[convergeWindow-1] = d
-					}
-					// Qualify when the geometric projection of all
-					// future movement is under convergeTailV (d == 0
-					// means the response already hit a floating-point
-					// fixed cycle).
-					ok := false
-					if d == 0 {
-						ok = true
-					} else if nHist == convergeWindow {
-						rho := 0.0
-						for j := 1; j < convergeWindow; j++ {
-							if r := dHist[j] / dHist[j-1]; r > rho {
-								rho = r
-							}
-						}
-						if rho < 1 && d*rho/(1-rho) < convergeTailV {
-							ok = true
-						}
-					}
-					// Only trust a converged period whose samples all
-					// counted toward statistics (fully past warmup).
-					if ok && cyc-pLen >= warm {
-						if runs++; runs >= convergeRuns {
-							converged = cyc
-							break
-						}
-					} else {
-						runs = 0
-					}
-					copy(prevV, vbuf[:pLen])
-				}
-			}
-			// Advance the boundary state: sNext = eRef + A·ds.
-			copy(sNext, eRef)
-			for k := 0; k < dim; k++ {
-				if d := ds[k]; d != 0 {
-					col := A[k*dim : k*dim+dim]
-					for i, a := range col {
-						sNext[i] += a * d
-					}
-				}
-			}
-			sCur, sNext = sNext, sCur
-		}
-		cp.vbufs.Put(prevV[:0])
-		if converged == 0 && cyc < N {
-			// MaxCycles is not period-aligned: finish the partial tail
-			// from the next period's prefix.
-			rem := N - cyc
-			for i := range ds {
-				ds[i] = sCur[i] - sRef[i]
-			}
-			volts(vbuf[:rem], ds)
-			fold.scan(cyc, period[:rem], periodQ[:rem], vbuf[:rem])
-			cyc += rem
-		}
-		cp.vbufs.Put(vRef[:0])
 		if converged > 0 {
 			cp.traces.noteEarlyExit()
-			// Every remaining period repeats the response in
-			// vbuf[:pLen]; fold the remaining N-converged cycles in
-			// closed form. No new failure can appear: the converged
-			// period was scanned and its repeats are identical to
-			// within convergeEps.
-			remaining := N - converged
-			K := remaining / pLen
-			rem := remaining % pLen
-			var psum float64
-			pmin, pmax := vbuf[0], vbuf[0]
-			for _, v := range vbuf[:pLen] {
-				psum += v
-				if v < pmin {
-					pmin = v
-				}
-				if v > pmax {
-					pmax = v
-				}
-			}
-			if K > 0 {
-				fold.sumV += psum * float64(K)
-				fold.nV += K * pLen
-				if d := vNom - pmin; d > m.MaxDroopV {
-					m.MaxDroopV = d
-				}
-				if o := pmax - vNom; o > m.MaxOvershootV {
-					m.MaxOvershootV = o
-				}
-				if pmin < m.MinV {
-					m.MinV = pmin
-				}
-				m.EnergyPJ += tr.periodEnergy * float64(K)
-				for u := range tr.periodIssues {
-					m.UnitTotals[u] += tr.periodIssues[u] * K
-				}
-			}
-			for i := uint64(0); i < rem; i++ {
-				v := vbuf[i]
-				if d := vNom - v; d > m.MaxDroopV {
-					m.MaxDroopV = d
-				}
-				if o := v - vNom; o > m.MaxOvershootV {
-					m.MaxOvershootV = o
-				}
-				if v < m.MinV {
-					m.MinV = v
-				}
-				fold.sumV += v
-				fold.nV++
-				m.EnergyPJ += period[i]
-				q := periodQ[i]
-				for u := 0; u < int(isa.NumUnits); u++ {
-					m.UnitTotals[u] += (q >> (8 * uint(u))) & 0xff
-				}
-			}
+			extrapolatePeriodic(fold, tr, vbuf, period, periodQ, N, converged, pLen)
 		}
 	}
 
@@ -519,4 +315,419 @@ func (cp *CompiledPlatform) replay(tr *chipTrace, rc RunConfig) (*Measurement, e
 	cp.vbufs.Put(vbuf[:0])
 	cp.net.Put(net)
 	return m, nil
+}
+
+// periodicAffine scans the periodic region with the exact kernel's
+// affine period map, returning the cycle reached and, when the PDN
+// early exit fired, the boundary cycle at which the response converged
+// (0 otherwise). Pure code motion from replay: the floating-point
+// operation sequence is exactly the pre-refactor inline loop's, which
+// is what keeps ROMTolV=0 replays bit-identical across releases.
+func (cp *CompiledPlatform) periodicAffine(net *pdn.PDN, fold *replayFold, vbuf, period []float64, periodQ []uint64, cyc, N, pLen, warm uint64, div, leakage float64) (uint64, uint64) {
+	// Affine period model. The network is linear and every tile
+	// drives it with the same current sequence, so one period is an
+	// affine map of the boundary state s: the end state is
+	// E(s) = eRef + A·(s−sRef) and the in-period die voltages are
+	// v_c(s) = vRef[c] + W_c·(s−sRef). Sampling the map is exact —
+	// no small-perturbation approximation, linearity makes the
+	// finite difference the true derivative — and costs dim+1
+	// kernel runs of one period each: the reference run plus dim
+	// unit-perturbed probes. The probes all share one drive period,
+	// so they run as lanes of a single multi-lane kernel pass (each
+	// lane bit-identical to the sequential probe it replaces)
+	// instead of dim sequential runs. After that, each boundary
+	// advances with O(dim² + pLen·dim) arithmetic instead of pLen
+	// dense MNA solves, which is where a long periodic replay's
+	// time would otherwise go. The first tile has ds = 0, so its
+	// voltages are the kernel's own output bit for bit; later
+	// tiles pick up ~1e-13 V of float reordering noise, far inside
+	// the convergence tolerances.
+	dim := net.StateDim()
+	sRef := make([]float64, dim)
+	net.StateVec(sRef)
+	vRef := cp.getVBuf(int(pLen))
+	net.StepTrace(vRef[:pLen], period, 1e-12, div, leakage)
+	eRef := make([]float64, dim)
+	net.StateVec(eRef)
+	A := make([]float64, dim*dim)       // column k at A[k*dim:]
+	W := make([]float64, int(pLen)*dim) // row c at W[c*dim:]
+	scratch := make([]float64, dim)
+	{
+		pb := cp.net.NewBatch(dim)
+		probeV := make([]float64, dim*int(pLen))
+		dsts := make([][]float64, dim)
+		srcs := make([][]float64, dim)
+		muls := make([]float64, dim)
+		divs := make([]float64, dim)
+		adds := make([]float64, dim)
+		for k := 0; k < dim; k++ {
+			// Sources (the lane's supply set-point and last sink
+			// value) come from the live state; only the dynamic
+			// state is perturbed.
+			pb.LoadLane(k, net)
+			copy(scratch, sRef)
+			scratch[k]++
+			pb.SetLaneStateVec(k, scratch)
+			dsts[k] = probeV[k*int(pLen) : (k+1)*int(pLen)]
+			srcs[k] = period
+			muls[k], divs[k], adds[k] = 1e-12, div, leakage
+		}
+		pb.StepTraceBatch(dsts, srcs, muls, divs, adds, int(pLen))
+		cp.traces.noteProbeLanes(dim + 1) // reference run + dim probes
+		for k := 0; k < dim; k++ {
+			pb.LaneStateVec(k, scratch)
+			col := A[k*dim : k*dim+dim]
+			for i := range col {
+				col[i] = scratch[i] - eRef[i]
+			}
+			vk := dsts[k]
+			for c := 0; c < int(pLen); c++ {
+				W[c*dim+k] = vk[c] - vRef[c]
+			}
+		}
+	}
+
+	volts := func(dst []float64, ds []float64) {
+		for c := range dst {
+			v := vRef[c]
+			row := W[c*dim : c*dim+dim]
+			for i, w := range row {
+				v += w * ds[i]
+			}
+			dst[c] = v
+		}
+	}
+
+	sCur := append([]float64(nil), sRef...)
+	sNext := make([]float64, dim)
+	ds := make([]float64, dim)
+	prevV := cp.getVBuf(int(pLen))
+	converged := uint64(0)
+	havePrev := false
+	var dHist [convergeWindow]float64
+	nHist := 0
+	runs := 0
+	for cyc+pLen <= N {
+		for i := range ds {
+			ds[i] = sCur[i] - sRef[i]
+		}
+		volts(vbuf[:pLen], ds)
+		fold.scan(cyc, period, periodQ, vbuf[:pLen])
+		cyc += pLen
+		if cyc < N {
+			if !havePrev {
+				copy(prevV, vbuf[:pLen])
+				havePrev = true
+			} else {
+				var d float64
+				for i := uint64(0); i < pLen; i++ {
+					if dd := math.Abs(vbuf[i] - prevV[i]); dd > d {
+						d = dd
+					}
+				}
+				if nHist < convergeWindow {
+					dHist[nHist] = d
+					nHist++
+				} else {
+					copy(dHist[:], dHist[1:])
+					dHist[convergeWindow-1] = d
+				}
+				// Qualify when the geometric projection of all
+				// future movement is under convergeTailV (d == 0
+				// means the response already hit a floating-point
+				// fixed cycle).
+				ok := false
+				if d == 0 {
+					ok = true
+				} else if nHist == convergeWindow {
+					rho := 0.0
+					for j := 1; j < convergeWindow; j++ {
+						if r := dHist[j] / dHist[j-1]; r > rho {
+							rho = r
+						}
+					}
+					if rho < 1 && d*rho/(1-rho) < convergeTailV {
+						ok = true
+					}
+				}
+				// Only trust a converged period whose samples all
+				// counted toward statistics (fully past warmup).
+				if ok && cyc-pLen >= warm {
+					if runs++; runs >= convergeRuns {
+						converged = cyc
+						break
+					}
+				} else {
+					runs = 0
+				}
+				copy(prevV, vbuf[:pLen])
+			}
+		}
+		// Advance the boundary state: sNext = eRef + A·ds.
+		copy(sNext, eRef)
+		for k := 0; k < dim; k++ {
+			if d := ds[k]; d != 0 {
+				col := A[k*dim : k*dim+dim]
+				for i, a := range col {
+					sNext[i] += a * d
+				}
+			}
+		}
+		sCur, sNext = sNext, sCur
+	}
+	cp.vbufs.Put(prevV[:0])
+	if converged == 0 && cyc < N {
+		// MaxCycles is not period-aligned: finish the partial tail
+		// from the next period's prefix.
+		rem := N - cyc
+		for i := range ds {
+			ds[i] = sCur[i] - sRef[i]
+		}
+		volts(vbuf[:rem], ds)
+		fold.scan(cyc, period[:rem], periodQ[:rem], vbuf[:rem])
+		cyc += rem
+	}
+	cp.vbufs.Put(vRef[:0])
+	return cyc, converged
+}
+
+// extrapolatePeriodic folds the remaining N−converged cycles in closed
+// form from the converged period response left in vbuf[:pLen]. Every
+// remaining period repeats that response, so MinV/MeanV/EnergyPJ/
+// UnitTotals follow from one pass over the period. No new failure can
+// appear: the converged period was scanned and its repeats are
+// identical to within convergeTailV. Shared by the exact-state and
+// modal periodic paths, verbatim from the pre-refactor inline block.
+func extrapolatePeriodic(fold *replayFold, tr *chipTrace, vbuf, period []float64, periodQ []uint64, N, converged, pLen uint64) {
+	m := fold.m
+	vNom := fold.vNom
+	remaining := N - converged
+	K := remaining / pLen
+	rem := remaining % pLen
+	var psum float64
+	pmin, pmax := vbuf[0], vbuf[0]
+	for _, v := range vbuf[:pLen] {
+		psum += v
+		if v < pmin {
+			pmin = v
+		}
+		if v > pmax {
+			pmax = v
+		}
+	}
+	if K > 0 {
+		fold.sumV += psum * float64(K)
+		fold.nV += K * pLen
+		if d := vNom - pmin; d > m.MaxDroopV {
+			m.MaxDroopV = d
+		}
+		if o := pmax - vNom; o > m.MaxOvershootV {
+			m.MaxOvershootV = o
+		}
+		if pmin < m.MinV {
+			m.MinV = pmin
+		}
+		m.EnergyPJ += tr.periodEnergy * float64(K)
+		for u := range tr.periodIssues {
+			m.UnitTotals[u] += tr.periodIssues[u] * K
+		}
+	}
+	for i := uint64(0); i < rem; i++ {
+		v := vbuf[i]
+		if d := vNom - v; d > m.MaxDroopV {
+			m.MaxDroopV = d
+		}
+		if o := v - vNom; o > m.MaxOvershootV {
+			m.MaxOvershootV = o
+		}
+		if v < m.MinV {
+			m.MinV = v
+		}
+		fold.sumV += v
+		fold.nV++
+		m.EnergyPJ += period[i]
+		q := periodQ[i]
+		for u := 0; u < int(isa.NumUnits); u++ {
+			m.UnitTotals[u] += (q >> (8 * uint(u))) & 0xff
+		}
+	}
+}
+
+// periodicModal is the reduced-order fast path for the periodic region:
+// the same affine-period construction as periodicAffine, but in the
+// ROM's modal coordinates. The probe pass costs m+1 one-period lanes
+// (reference + one per modal coordinate) instead of StateDim+1, and
+// each boundary advances with O(m² + pLen·m) arithmetic. Because
+// romStepKernel never couples modal sections, the probed period map A
+// is exactly block-diagonal over rom.Sections() — which makes the
+// steady-state boundary μ* = μRef + (I−A)⁻¹(eRef−μRef) and the
+// per-section contraction factors σ_i = ‖A_i‖₂ cheap and exact. Those
+// turn convergence detection into a sound analytic bound: for a
+// boundary μ with per-section deviation δ_i = (μ−μ*)_i, every sample of
+// every future period differs from the just-scanned one by at most
+//
+//	|W_c·(A^j−I)δ| ≤ Σ_i (σ_i^j + 1)·Wmax_i·‖δ_i‖ ≤ Σ_i (1+σ_i)·Wmax_i·‖δ_i‖
+//
+// (σ_i ≤ 1, j ≥ 1), with Wmax_i = max_c ‖W_c section-i part‖₂. When
+// that bound clears convergeTailV the run jumps straight to its
+// converged tail at the first qualifying boundary — no empirical delta
+// window or ρ-ramp. If the steady-state solve is singular or any
+// σ_i > 1, the loop degrades to scanning every period (no early exit),
+// still within the admitted ROM tolerance.
+func (cp *CompiledPlatform) periodicModal(rom *pdn.ROMState, fold *replayFold, vbuf, period []float64, periodQ []uint64, cyc, N, pLen, warm uint64, div float64) (uint64, uint64) {
+	m := rom.Order()
+	secs := rom.Sections()
+	muRef := make([]float64, m)
+	vstar := rom.Modal(muRef)
+
+	// Probe pass: lane 0 replays the reference period from the live
+	// boundary; lane k+1 starts from the same boundary with modal
+	// coordinate k perturbed by +1. The kernel is linear in μ, so the
+	// lane differences are the period map's columns (A) and the
+	// in-period voltage sensitivities (W) exactly.
+	rb, _ := cp.net.NewROMBatch(m + 1)
+	probeV := make([]float64, (m+1)*int(pLen))
+	dsts := make([][]float64, m+1)
+	srcs := make([][]float64, m+1)
+	muls := make([]float64, m+1)
+	divs := make([]float64, m+1)
+	scratch := make([]float64, m)
+	for k := 0; k <= m; k++ {
+		copy(scratch, muRef)
+		if k > 0 {
+			scratch[k-1]++
+		}
+		rb.SetLaneModal(k, scratch, vstar)
+		dsts[k] = probeV[k*int(pLen) : (k+1)*int(pLen)]
+		srcs[k] = period
+		muls[k], divs[k] = 1e-12, div
+	}
+	rb.StepTraceBatch(dsts, srcs, muls, divs, int(pLen))
+	cp.traces.noteProbeLanes(m + 1)
+
+	vRef := dsts[0]
+	eRef := make([]float64, m)
+	rb.LaneModal(0, eRef)
+	A := make([]float64, m*m)         // column k at A[k*m:]
+	W := make([]float64, int(pLen)*m) // row c at W[c*m:]
+	for k := 1; k <= m; k++ {
+		rb.LaneModal(k, scratch)
+		col := A[(k-1)*m : (k-1)*m+m]
+		for i := range col {
+			col[i] = scratch[i] - eRef[i]
+		}
+		vk := dsts[k]
+		for c := 0; c < int(pLen); c++ {
+			W[c*m+k-1] = vk[c] - vRef[c]
+		}
+	}
+
+	// Analytic convergence machinery. A failed solve or an expanding
+	// section just disables the early exit; scanning stays correct.
+	muStar := make([]float64, m)
+	rhs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		rhs[i] = eRef[i] - muRef[i]
+	}
+	analytic := pdn.PeriodicSteadyState(secs, A, rhs, muStar) == nil
+	var sig []float64
+	if analytic {
+		for i := 0; i < m; i++ {
+			muStar[i] += muRef[i]
+		}
+		sig = pdn.SectionContractions(secs, A)
+		for _, s := range sig {
+			if !(s <= 1) {
+				analytic = false
+				break
+			}
+		}
+	}
+	var wmax []float64
+	if analytic {
+		wmax = make([]float64, len(secs))
+		for c := 0; c < int(pLen); c++ {
+			row := W[c*m : c*m+m]
+			o := 0
+			for si, sz := range secs {
+				var n2 float64
+				for j := 0; j < sz; j++ {
+					n2 += row[o+j] * row[o+j]
+				}
+				if n2 > wmax[si] {
+					wmax[si] = n2
+				}
+				o += sz
+			}
+		}
+		for si := range wmax {
+			wmax[si] = math.Sqrt(wmax[si])
+		}
+	}
+
+	mu := append([]float64(nil), muRef...)
+	muNext := make([]float64, m)
+	ds := make([]float64, m)
+	volts := func(dst []float64, ds []float64) {
+		for c := range dst {
+			v := vRef[c]
+			row := W[c*m : c*m+m]
+			for i, w := range row {
+				v += w * ds[i]
+			}
+			dst[c] = v
+		}
+	}
+	converged := uint64(0)
+	for cyc+pLen <= N {
+		for i := range ds {
+			ds[i] = mu[i] - muRef[i]
+		}
+		volts(vbuf[:pLen], ds)
+		fold.scan(cyc, period, periodQ, vbuf[:pLen])
+		cyc += pLen
+		// Only trust a converged period whose samples all counted
+		// toward statistics (fully past warmup) — same gate as the
+		// exact path.
+		if analytic && cyc < N && cyc-pLen >= warm {
+			bound := 0.0
+			o := 0
+			for si, sz := range secs {
+				var n2 float64
+				for j := 0; j < sz; j++ {
+					d := mu[o+j] - muStar[o+j]
+					n2 += d * d
+				}
+				bound += (1 + sig[si]) * wmax[si] * math.Sqrt(n2)
+				o += sz
+			}
+			if bound <= convergeTailV {
+				converged = cyc
+				break
+			}
+		}
+		// Advance the boundary: μ' = eRef + A·(μ − μRef).
+		copy(muNext, eRef)
+		for k := 0; k < m; k++ {
+			if d := ds[k]; d != 0 {
+				col := A[k*m : k*m+m]
+				for i, a := range col {
+					muNext[i] += a * d
+				}
+			}
+		}
+		mu, muNext = muNext, mu
+	}
+	if converged == 0 && cyc < N {
+		// MaxCycles is not period-aligned: finish the partial tail
+		// from the next period's prefix.
+		rem := N - cyc
+		for i := range ds {
+			ds[i] = mu[i] - muRef[i]
+		}
+		volts(vbuf[:rem], ds)
+		fold.scan(cyc, period[:rem], periodQ[:rem], vbuf[:rem])
+		cyc = N
+	}
+	return cyc, converged
 }

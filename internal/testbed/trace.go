@@ -440,6 +440,16 @@ type TraceStats struct {
 	// the reduced-order modal kernel (admitted when Platform.ROMTolV
 	// covers the trace's worst-case error) versus the exact LU kernel.
 	ROMReplays, ExactReplays uint64
+	// PeriodicReplays counts phase-2 replays of verified-periodic
+	// traces (the ones that enter the period-reuse machinery), and
+	// ModalPeriodic the subset whose affine period map was built and
+	// advanced in the ROM's modal coordinates — m+1 probe lanes instead
+	// of StateDim+1 plus an analytic convergence exit.
+	PeriodicReplays, ModalPeriodic uint64
+	// AffineProbeLanes totals the one-period kernel lanes (reference
+	// included) run to build affine period maps, on either the exact or
+	// the modal path — the dominant cost of a short periodic replay.
+	AffineProbeLanes uint64
 	// StoreHits and StoreMisses count persistent trace-store lookups —
 	// consulted only when the in-memory cache misses and a store is
 	// attached (SetTraceStore). A store hit skips phase 1 entirely.
@@ -498,6 +508,8 @@ type traceCache struct {
 	captureSavedNS, captures           uint64
 	captureNS, replayNS                uint64
 	romReplays, exactReplays           uint64
+	periodicReplays, modalPeriodic     uint64
+	probeLanes                         uint64
 }
 
 // noteReplays records n phase-2 replays on the ROM or exact kernel.
@@ -508,6 +520,25 @@ func (tc *traceCache) noteReplays(n int, rom bool) {
 	} else {
 		tc.exactReplays += uint64(n)
 	}
+	tc.mu.Unlock()
+}
+
+// notePeriodicReplay records one replay of a periodic trace; modal
+// marks the reduced-order (modal-coordinate) period path.
+func (tc *traceCache) notePeriodicReplay(modal bool) {
+	tc.mu.Lock()
+	tc.periodicReplays++
+	if modal {
+		tc.modalPeriodic++
+	}
+	tc.mu.Unlock()
+}
+
+// noteProbeLanes records n one-period probe lanes run to build an
+// affine period map (reference lane included).
+func (tc *traceCache) noteProbeLanes(n int) {
+	tc.mu.Lock()
+	tc.probeLanes += uint64(n)
 	tc.mu.Unlock()
 }
 
@@ -671,7 +702,9 @@ func (tc *traceCache) stats() TraceStats {
 		PDNEarlyExits: tc.earlyExits, BatchRuns: tc.batchRuns,
 		LaneRuns: tc.laneRuns, LaneBatches: tc.laneBatches,
 		ROMReplays: tc.romReplays, ExactReplays: tc.exactReplays,
-		StoreHits: tc.storeHits, StoreMisses: tc.storeMisses,
+		PeriodicReplays: tc.periodicReplays, ModalPeriodic: tc.modalPeriodic,
+		AffineProbeLanes: tc.probeLanes,
+		StoreHits:        tc.storeHits, StoreMisses: tc.storeMisses,
 		TierHits: tc.tierHits, TierMisses: tc.tierMisses,
 		WireBytes: tc.wireBytes, CaptureNSSaved: tc.captureSavedNS,
 		Captures:  tc.captures,

@@ -31,6 +31,9 @@ gated=(
   BenchmarkGenerationBatch
   BenchmarkMeasureExactVsReplay
   BenchmarkMedianOfKReplay
+  BenchmarkPeriodicReplayModal
+  BenchmarkROMStepBatchKernel
+  BenchmarkSolveBatchKernel
   BenchmarkStepTrace
   BenchmarkStepTraceBatch
   BenchmarkStepTraceBatchROM
